@@ -1,0 +1,41 @@
+// Command prognosd serves Prognos handover predictions over TCP.
+//
+// A UE-side agent connects, sends one hello line identifying its carrier
+// and architecture, then streams its cross-layer observations as JSONL
+// records ({"sample":...}, {"report":...}, {"ho":...}); the daemon answers
+// every sample with a prediction line carrying the expected handover type
+// and its ho_score.
+//
+// Usage:
+//
+//	prognosd [-addr 127.0.0.1:7015]
+//
+// Try it against a simulated drive with examples/livepredict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7015", "listen address")
+	flag.Parse()
+
+	srv, err := server.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("prognosd listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("prognosd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,95 @@
+// Command tracegen generates synthetic drive-test datasets as JSONL logs
+// in the trace package's record format — the building block for offline
+// analysis, the §7.3 walking datasets, and feeding external tools.
+//
+// Usage:
+//
+//	tracegen -carrier OpX -arch NSA -route city -length 4000 -laps 4 \
+//	         -speed 8.3 -seed 1 -o drive.jsonl
+//
+// With -o "-" (default) the log streams to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	carrier := flag.String("carrier", "OpX", "carrier profile: OpX, OpY, OpZ")
+	archStr := flag.String("arch", "NSA", "architecture: LTE, NSA, SA")
+	route := flag.String("route", "freeway", "route kind: freeway, city")
+	length := flag.Float64("length", 20000, "route length / loop perimeter, metres")
+	laps := flag.Int("laps", 1, "laps (loops only)")
+	speed := flag.Float64("speed", 29, "speed, m/s (29≈freeway, 8.3≈city, 1.4≈walking)")
+	seed := flag.Int64("seed", 1, "random seed")
+	density := flag.Float64("density", 1.0, "tower density scale (<1 = denser)")
+	skipMMW := flag.Bool("no-mmwave", false, "skip mmWave deployment")
+	out := flag.String("o", "-", "output path (- for stdout)")
+	flag.Parse()
+
+	var prof repro.CarrierProfile
+	switch *carrier {
+	case "OpX":
+		prof = repro.OpX()
+	case "OpY":
+		prof = repro.OpY()
+	case "OpZ":
+		prof = repro.OpZ()
+	default:
+		fatal("unknown carrier %q", *carrier)
+	}
+	var arch repro.Arch
+	switch strings.ToUpper(*archStr) {
+	case "LTE":
+		arch = repro.ArchLTE
+	case "NSA":
+		arch = repro.ArchNSA
+	case "SA":
+		arch = repro.ArchSA
+	default:
+		fatal("unknown arch %q", *archStr)
+	}
+	kind := repro.RouteFreeway
+	if strings.HasPrefix(*route, "city") {
+		kind = repro.RouteCityLoop
+	}
+
+	log, err := repro.Drive(repro.DriveConfig{
+		Carrier:      prof,
+		Arch:         arch,
+		RouteKind:    kind,
+		RouteLengthM: *length,
+		Laps:         *laps,
+		SpeedMPS:     *speed,
+		Seed:         *seed,
+		TopoOpts:     repro.TopologyOptions{CityDensity: *density, SkipMMWave: *skipMMW},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := log.Write(w); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %.1f km, %d samples, %d reports, %d handovers\n",
+		log.DistanceKM(), len(log.Samples), len(log.Reports), len(log.Handovers))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command vivisect regenerates the paper's tables and figures from the
+// simulated substrate.
+//
+// Usage:
+//
+//	vivisect list                 # list available experiments
+//	vivisect <id> [...]           # run one or more experiments (e.g. fig8)
+//	vivisect all                  # run everything in paper order
+//
+// Flags:
+//
+//	-seed N     random seed (default 1)
+//	-scale F    drive-length scale factor (default 1.0)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1.0, "experiment scale factor")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	switch args[0] {
+	case "list":
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Paper)
+		}
+		return
+	case "all":
+		failed := 0
+		for _, s := range experiments.All() {
+			if err := runOne(s, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "vivisect: %s: %v\n", s.ID, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	default:
+		failed := 0
+		for _, id := range args {
+			s, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vivisect: %v\n", err)
+				failed++
+				continue
+			}
+			if err := runOne(s, opts); err != nil {
+				fmt.Fprintf(os.Stderr, "vivisect: %s: %v\n", s.ID, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(s experiments.Spec, opts experiments.Options) error {
+	start := time.Now()
+	t, err := s.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("(%s in %v)\n\n", s.Paper, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `vivisect regenerates the paper's tables and figures.
+
+usage: vivisect [flags] list | all | <experiment-id> [...]
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,61 @@
+// Drivetour: the paper's §5 characterisation in miniature. A freeway drive
+// under each deployment architecture, comparing handover frequency, stage
+// durations (T1/T2), signalling, and UE battery drain — the headline
+// differences between LTE, NSA 5G, and SA 5G.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+func main() {
+	type row struct {
+		label   string
+		carrier repro.CarrierProfile
+		arch    repro.Arch
+	}
+	rows := []row{
+		{"4G/LTE", repro.OpX(), repro.ArchLTE},
+		{"NSA 5G", repro.OpX(), repro.ArchNSA},
+		{"SA 5G", repro.OpY(), repro.ArchSA},
+	}
+	fmt.Printf("%-8s %6s %12s %10s %10s %12s %12s\n",
+		"arch", "HOs", "spacing(km)", "T1(ms)", "T2(ms)", "msgs/HO", "mAh/100km")
+	for _, r := range rows {
+		drive, err := repro.Drive(repro.DriveConfig{
+			Carrier:      r.carrier,
+			Arch:         r.arch,
+			RouteKind:    repro.RouteFreeway,
+			RouteLengthM: 50000,
+			SpeedMPS:     29,
+			Seed:         7,
+			TopoOpts:     repro.TopologyOptions{SkipMMWave: true},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var t1s, t2s []float64
+		msgs := 0
+		for _, h := range drive.Handovers {
+			t1s = append(t1s, float64(h.T1)/float64(time.Millisecond))
+			t2s = append(t2s, float64(h.T2)/float64(time.Millisecond))
+			msgs += h.Signaling.Total()
+		}
+		drain := energy.Summarize(drive.Handovers, drive.DistanceKM())
+		fmt.Printf("%-8s %6d %12.2f %10.1f %10.1f %12.1f %12.2f\n",
+			r.label, len(drive.Handovers),
+			drive.DistanceKM()/float64(len(drive.Handovers)),
+			stats.Mean(t1s), stats.Mean(t2s),
+			float64(msgs)/float64(len(drive.Handovers)),
+			drain.PerKmMAh*100)
+	}
+	fmt.Println("\nthe §5 findings in one table: NSA handovers are the most frequent and")
+	fmt.Println("the longest, with the heaviest signalling and battery cost; SA trims all")
+	fmt.Println("three; LTE sits in between on frequency but is fastest per handover.")
+}

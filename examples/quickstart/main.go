@@ -1,0 +1,69 @@
+// Quickstart: simulate a short NSA 5G city drive, print the handover
+// activity, run Prognos over the same drive online, and report its
+// prediction quality — the library's core loop in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	drive, err := repro.Drive(repro.DriveConfig{
+		Carrier:      repro.OpX(),
+		Arch:         repro.ArchNSA,
+		RouteKind:    repro.RouteCityLoop,
+		RouteLengthM: 4000,
+		Laps:         4,
+		SpeedMPS:     8.3, // ≈30 km/h downtown
+		Seed:         42,
+		TopoOpts:     repro.TopologyOptions{CityDensity: 0.7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counts := map[repro.HOType]int{}
+	for _, h := range drive.Handovers {
+		counts[h.Type]++
+	}
+	fmt.Printf("drive: %.1f km in %v, %d handovers (one every %.2f km)\n",
+		drive.DistanceKM(), drive.Duration().Round(time.Second),
+		len(drive.Handovers), drive.DistanceKM()/float64(len(drive.Handovers)))
+	for _, ty := range []repro.HOType{repro.HOSCGA, repro.HOSCGR, repro.HOSCGM, repro.HOSCGC, repro.HOMNBH, repro.HOLTEH} {
+		if counts[ty] > 0 {
+			fmt.Printf("  %-5s %4d\n", ty, counts[ty])
+		}
+	}
+
+	prog, err := repro.NewPrognos(repro.PrognosConfig{
+		EventConfigs:       repro.EventConfigs("OpX", repro.ArchNSA),
+		Arch:               repro.ArchNSA,
+		UseReportPredictor: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ticks := repro.Replay(prog, drive)
+	ev := repro.Evaluate(ticks, drive.Handovers, time.Second)
+	fmt.Printf("\nPrognos (learning online during the drive):\n")
+	fmt.Printf("  F1=%.3f precision=%.3f recall=%.3f accuracy=%.3f\n",
+		ev.F1(), ev.Precision(), ev.Recall(), ev.Accuracy())
+
+	learned, evicted, phases, live := prog.Learner().Stats()
+	fmt.Printf("  %d phases observed, %d patterns learned, %d evicted, %d live\n",
+		phases, learned, evicted, live)
+	fmt.Println("\nmost supported handover patterns:")
+	bestBy := map[repro.HOType]repro.Pattern{}
+	for _, p := range prog.Learner().Patterns() {
+		if b, ok := bestBy[p.HO]; !ok || p.Support > b.Support {
+			bestBy[p.HO] = p
+		}
+	}
+	for _, p := range bestBy {
+		fmt.Printf("  %v\n", p)
+	}
+}

@@ -1,0 +1,176 @@
+package abr
+
+import (
+	"math"
+	"time"
+)
+
+// State is the player state an algorithm sees when choosing the next
+// chunk's quality level.
+type State struct {
+	// BufferS is the playout buffer level in seconds.
+	BufferS float64
+	// LastLevel is the previously chosen level index (-1 for the first
+	// chunk).
+	LastLevel int
+	// PredictedMbps is the (possibly ho_score-corrected) throughput
+	// prediction for upcoming chunks.
+	PredictedMbps float64
+	// MaxError is the recent relative prediction error (robustMPC).
+	MaxError float64
+	// ChunksLeft is the number of chunks remaining including this one.
+	ChunksLeft int
+}
+
+// Algorithm selects the quality level for the next chunk.
+type Algorithm interface {
+	// Name identifies the algorithm in result tables.
+	Name() string
+	// Choose returns the level index for the next chunk given the level
+	// bitrates (Mbps) and chunk duration.
+	Choose(state State, levels []float64, chunkDur time.Duration) int
+}
+
+// RB is the rate-based algorithm: highest level whose bitrate fits the
+// predicted throughput.
+type RB struct{}
+
+// Name implements Algorithm.
+func (RB) Name() string { return "RB" }
+
+// Choose implements Algorithm.
+func (RB) Choose(state State, levels []float64, _ time.Duration) int {
+	best := 0
+	for i, b := range levels {
+		if b <= state.PredictedMbps {
+			best = i
+		}
+	}
+	return best
+}
+
+// FESTIVE approximates Jiang et al.'s algorithm: a rate-based target with
+// gradual (±1 level) switching to trade efficiency for stability.
+type FESTIVE struct{}
+
+// Name implements Algorithm.
+func (FESTIVE) Name() string { return "FESTIVE" }
+
+// Choose implements Algorithm.
+func (FESTIVE) Choose(state State, levels []float64, _ time.Duration) int {
+	target := 0
+	for i, b := range levels {
+		// FESTIVE's conservative efficiency target.
+		if b <= 0.85*state.PredictedMbps {
+			target = i
+		}
+	}
+	if state.LastLevel < 0 {
+		return target
+	}
+	switch {
+	case target > state.LastLevel:
+		return state.LastLevel + 1
+	case target < state.LastLevel:
+		return state.LastLevel - 1
+	default:
+		return target
+	}
+}
+
+// MPC is the model-predictive-control family (fastMPC / robustMPC from Yin
+// et al.): an exhaustive search over the next Horizon chunks maximising
+// QoE = Σ quality − λ·rebuffer − μ·|quality switches|, assuming the
+// predicted throughput holds. Robust mode discounts the prediction by the
+// recent maximum error.
+type MPC struct {
+	// Robust enables robustMPC's error discounting.
+	Robust bool
+	// Horizon is the lookahead depth in chunks (default 5).
+	Horizon int
+	// LambdaRebuf weights rebuffering (default 8).
+	LambdaRebuf float64
+	// MuSwitch weights level switches (default 1).
+	MuSwitch float64
+}
+
+// Name implements Algorithm.
+func (m MPC) Name() string {
+	if m.Robust {
+		return "robustMPC"
+	}
+	return "fastMPC"
+}
+
+func (m MPC) params() MPC {
+	if m.Horizon == 0 {
+		m.Horizon = 5
+	}
+	if m.LambdaRebuf == 0 {
+		m.LambdaRebuf = 8
+	}
+	if m.MuSwitch == 0 {
+		m.MuSwitch = 1
+	}
+	return m
+}
+
+// Choose implements Algorithm via depth-first enumeration of level plans.
+func (m MPC) Choose(state State, levels []float64, chunkDur time.Duration) int {
+	p := m.params()
+	horizon := p.Horizon
+	if state.ChunksLeft > 0 && state.ChunksLeft < horizon {
+		horizon = state.ChunksLeft
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	tput := state.PredictedMbps
+	if p.Robust {
+		tput /= 1 + state.MaxError
+	}
+	if tput <= 0 {
+		return 0
+	}
+	durS := chunkDur.Seconds()
+
+	bestFirst := 0
+	bestQoE := math.Inf(-1)
+	// Iterative DFS over level sequences of length `horizon`.
+	plan := make([]int, horizon)
+	var walk func(depth int, buffer float64, last int, qoe float64)
+	walk = func(depth int, buffer float64, last int, qoe float64) {
+		if depth == horizon {
+			if qoe > bestQoE {
+				bestQoE = qoe
+				bestFirst = plan[0]
+			}
+			return
+		}
+		for lvl := 0; lvl < len(levels); lvl++ {
+			plan[depth] = lvl
+			dl := levels[lvl] * durS / tput // seconds to download
+			rebuf := 0.0
+			b := buffer - dl
+			if b < 0 {
+				rebuf = -b
+				b = 0
+			}
+			b += durS
+			q := qualityOf(levels, lvl)
+			sw := 0.0
+			if last >= 0 {
+				sw = math.Abs(qualityOf(levels, lvl) - qualityOf(levels, last))
+			}
+			walk(depth+1, b, lvl, qoe+q-p.LambdaRebuf*rebuf-p.MuSwitch*sw)
+		}
+	}
+	walk(0, state.BufferS, state.LastLevel, 0)
+	return bestFirst
+}
+
+// qualityOf maps a level to a perceptual quality value (log of bitrate,
+// as in Pensieve's QoE-log metric).
+func qualityOf(levels []float64, lvl int) float64 {
+	return math.Log(levels[lvl] / levels[0])
+}

@@ -1,0 +1,125 @@
+// Package abr implements the adaptive-bitrate stack of §7.4: throughput
+// predictors (including the ho_score-corrected variants Prognos plugs
+// into), the published rate-adaptation algorithms the paper modifies (RB,
+// FESTIVE, fastMPC, robustMPC, and a ViVo-style volumetric controller), and
+// chunk-level player simulations for 16K panoramic VoD and real-time
+// volumetric streaming over the trace-driven link emulator.
+package abr
+
+import "math"
+
+// ThroughputPredictor estimates the next chunk's throughput from past
+// chunk-level observations.
+type ThroughputPredictor interface {
+	// Observe records the measured throughput (Mbps) of a finished chunk.
+	Observe(mbps float64)
+	// Predict returns the expected throughput (Mbps) for the next chunk.
+	Predict() float64
+}
+
+// HarmonicMean is the stock predictor used by RB/fastMPC/robustMPC: the
+// harmonic mean of the last W chunk throughputs, robust to bursts.
+type HarmonicMean struct {
+	window int
+	buf    []float64
+}
+
+// NewHarmonicMean creates the predictor (window default 5).
+func NewHarmonicMean(window int) *HarmonicMean {
+	if window <= 0 {
+		window = 5
+	}
+	return &HarmonicMean{window: window}
+}
+
+// Observe records one throughput sample.
+func (h *HarmonicMean) Observe(mbps float64) {
+	if mbps <= 0 {
+		mbps = 0.01
+	}
+	h.buf = append(h.buf, mbps)
+	if len(h.buf) > h.window {
+		h.buf = h.buf[len(h.buf)-h.window:]
+	}
+}
+
+// Predict returns the harmonic mean of the window (0 before any sample).
+func (h *HarmonicMean) Predict() float64 {
+	if len(h.buf) == 0 {
+		return 0
+	}
+	inv := 0.0
+	for _, v := range h.buf {
+		inv += 1 / v
+	}
+	return float64(len(h.buf)) / inv
+}
+
+// ScoreSource supplies the current ho_score: the expected multiplicative
+// network-capacity change from a predicted handover (1 = no HO expected).
+// Prognos-backed sources return Prognos' live output; ground-truth sources
+// return the oracle value.
+type ScoreSource func() float64
+
+// HOAware wraps a base predictor and multiplies its output by the ho_score
+// — the paper's modification to the rate-adaptation algorithms ("we scale
+// up or down the predicted throughput by multiplying it with the ho_score
+// received from Prognos", §7.4). With no HO expected (score 1) it is
+// exactly the base predictor.
+type HOAware struct {
+	Base  ThroughputPredictor
+	Score ScoreSource
+}
+
+// Observe forwards to the base predictor.
+func (h *HOAware) Observe(mbps float64) { h.Base.Observe(mbps) }
+
+// Predict returns base prediction × ho_score.
+func (h *HOAware) Predict() float64 {
+	s := 1.0
+	if h.Score != nil {
+		s = h.Score()
+	}
+	if s <= 0 {
+		s = 0.05
+	}
+	return h.Base.Predict() * s
+}
+
+// ErrorTracker records relative prediction errors for robustMPC's
+// discounting.
+type ErrorTracker struct {
+	window int
+	errs   []float64
+}
+
+// NewErrorTracker creates a tracker (window default 5).
+func NewErrorTracker(window int) *ErrorTracker {
+	if window <= 0 {
+		window = 5
+	}
+	return &ErrorTracker{window: window}
+}
+
+// Record logs |predicted-actual|/actual for one chunk.
+func (e *ErrorTracker) Record(predicted, actual float64) {
+	if actual <= 0 {
+		return
+	}
+	err := math.Abs(predicted-actual) / actual
+	e.errs = append(e.errs, err)
+	if len(e.errs) > e.window {
+		e.errs = e.errs[len(e.errs)-e.window:]
+	}
+}
+
+// MaxError returns the maximum recent relative error (0 with no history).
+func (e *ErrorTracker) MaxError() float64 {
+	m := 0.0
+	for _, v := range e.errs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,142 @@
+package abr
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/emu"
+)
+
+// VolumetricVideo describes a real-time point-cloud stream: fixed-duration
+// segments encoded at several density levels. The paper's 3-minute Draco
+// video uses 5 levels at {43, 77, 110, 140, 170} Mbps.
+type VolumetricVideo struct {
+	Levels []float64 // per-density bitrate, Mbps
+	SegDur time.Duration
+	Segs   int
+}
+
+// ViVoVideo returns the paper's volumetric asset: 180 s in 1 s segments.
+func ViVoVideo() VolumetricVideo {
+	return VolumetricVideo{
+		Levels: []float64{43, 77, 110, 140, 170},
+		SegDur: time.Second,
+		Segs:   180,
+	}
+}
+
+// VolumetricResult summarises one real-time session.
+type VolumetricResult struct {
+	Algorithm string
+	// AvgLevelBitrate is the mean chosen bitrate (Mbps): the paper's
+	// "content quality" metric.
+	AvgLevelBitrate float64
+	// StallS / StallPct measure time segments arrived after their playout
+	// deadline.
+	StallS   float64
+	StallPct float64
+	// Drops counts segments skipped entirely (arrived a full segment
+	// late).
+	Drops int
+}
+
+// jitterBufferS is the playout slack of the real-time pipeline.
+const jitterBufferS = 0.3
+
+// PlayVolumetric simulates a live volumetric session: each segment must
+// arrive within its duration plus the jitter buffer; lateness stalls the
+// viewer. scoreAt supplies optional per-segment ho_score context as in
+// PlayVoD.
+func PlayVolumetric(video VolumetricVideo, link *emu.Link, alg Algorithm, scoreAt ScoreAtFunc) (VolumetricResult, error) {
+	if len(video.Levels) == 0 || video.Segs <= 0 {
+		return VolumetricResult{}, fmt.Errorf("abr: invalid volumetric video %+v", video)
+	}
+	base := NewHarmonicMean(4)
+	errTracker := NewErrorTracker(4)
+	res := VolumetricResult{Algorithm: alg.Name()}
+	last := -1
+	durS := video.SegDur.Seconds()
+	var bitSum float64
+
+	for seg := 0; seg < video.Segs; seg++ {
+		score := 1.0
+		if scoreAt != nil {
+			if ctx := scoreAt(link.Now()); ctx.Score > 0 {
+				score = ctx.Score
+			}
+			if score > upscaleCap {
+				score = upscaleCap
+			}
+		}
+		pred := base.Predict() * score
+		st := State{
+			BufferS:       jitterBufferS,
+			LastLevel:     last,
+			PredictedMbps: pred,
+			MaxError:      errTracker.MaxError(),
+			ChunksLeft:    video.Segs - seg,
+		}
+		lvl := alg.Choose(st, video.Levels, video.SegDur)
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(video.Levels) {
+			lvl = len(video.Levels) - 1
+		}
+		sizeBytes := video.Levels[lvl] * 1e6 / 8 * durS
+		dl := link.Download(sizeBytes).Seconds()
+
+		actual := video.Levels[lvl] * durS / dl
+		base.Observe(actual)
+		errTracker.Record(pred, actual)
+
+		deadline := durS + jitterBufferS
+		switch {
+		case dl > 2*durS+jitterBufferS:
+			// Hopelessly late: the live pipeline drops the segment.
+			res.Drops++
+			res.StallS += durS
+		case dl > deadline:
+			res.StallS += dl - deadline
+		}
+		// Live source: the next segment is only available at its own
+		// capture time; idle out the remainder of this segment slot.
+		if dl < durS {
+			link.Idle(time.Duration((durS - dl) * float64(time.Second)))
+		}
+
+		bitSum += video.Levels[lvl]
+		last = lvl
+	}
+	total := float64(video.Segs) * durS
+	res.AvgLevelBitrate = bitSum / float64(video.Segs)
+	res.StallPct = res.StallS / total * 100
+	return res, nil
+}
+
+// ViVoRate is the ViVo-style volumetric controller: a conservative
+// rate-based density selector (visibility-aware optimisations disabled for
+// parity with the paper's evaluation setup).
+type ViVoRate struct{}
+
+// Name implements Algorithm.
+func (ViVoRate) Name() string { return "ViVo" }
+
+// Choose implements Algorithm.
+func (ViVoRate) Choose(state State, levels []float64, _ time.Duration) int {
+	best := 0
+	for i, b := range levels {
+		if b <= 0.8*state.PredictedMbps {
+			best = i
+		}
+	}
+	return best
+}
+
+// Ensure interface satisfaction at compile time.
+var (
+	_ Algorithm = RB{}
+	_ Algorithm = FESTIVE{}
+	_ Algorithm = MPC{}
+	_ Algorithm = ViVoRate{}
+)

@@ -1,0 +1,113 @@
+// Package analysis implements the paper's offline log analyses that go
+// beyond simple statistics — currently the §6.3 co-location detector: the
+// eNB/gNB co-location heuristic built from convex hulls of per-PCI sample
+// positions ("we use 4G and 5G PCIs to construct convex hulls ... identify
+// the overlapping convex hulls for 4G and 5G PCIs").
+package analysis
+
+import (
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+// PCIHull is the convex hull of the positions where one cell served the UE.
+type PCIHull struct {
+	PCI     cellular.PCI
+	Tech    cellular.Tech
+	Samples int
+	Hull    []geo.Point
+}
+
+// BuildPCIHulls collects, for each serving PCI of the given technology, the
+// convex hull of the UE positions observed while attached to it.
+func BuildPCIHulls(log *trace.Log, tech cellular.Tech) []PCIHull {
+	pts := map[cellular.PCI][]geo.Point{}
+	for _, s := range log.Samples {
+		obs := s.ServingLTE
+		if tech == cellular.TechNR {
+			obs = s.ServingNR
+		}
+		if !obs.Valid {
+			continue
+		}
+		pts[obs.PCI] = append(pts[obs.PCI], geo.Point{X: s.X, Y: s.Y})
+	}
+	out := make([]PCIHull, 0, len(pts))
+	for pci, ps := range pts {
+		out = append(out, PCIHull{
+			PCI:     pci,
+			Tech:    tech,
+			Samples: len(ps),
+			Hull:    geo.ConvexHull(ps),
+		})
+	}
+	return out
+}
+
+// CoLocation is the outcome of the hull heuristic for one NR cell.
+type CoLocation struct {
+	NRPCI cellular.PCI
+	// SamePCIMatch reports the primary signal: an LTE cell with the same
+	// PCI whose hull overlaps this NR cell's hull.
+	SamePCIMatch bool
+	// OverlapCount is the number of LTE hulls overlapping the NR hull
+	// (context: dense areas overlap many).
+	OverlapCount int
+}
+
+// DetectCoLocation applies the paper's heuristic to a drive log: an NR cell
+// is deemed co-located with an eNB when an LTE cell with the *same PCI* has
+// an overlapping coverage hull. Cells observed for fewer than minSamples
+// samples are skipped (their hulls are degenerate).
+func DetectCoLocation(log *trace.Log, minSamples int) []CoLocation {
+	if minSamples < 3 {
+		minSamples = 3
+	}
+	lte := BuildPCIHulls(log, cellular.TechLTE)
+	nr := BuildPCIHulls(log, cellular.TechNR)
+
+	lteByPCI := map[cellular.PCI]PCIHull{}
+	for _, h := range lte {
+		if h.Samples >= minSamples {
+			lteByPCI[h.PCI] = h
+		}
+	}
+	var out []CoLocation
+	for _, nh := range nr {
+		if nh.Samples < minSamples {
+			continue
+		}
+		c := CoLocation{NRPCI: nh.PCI}
+		for _, lh := range lte {
+			if lh.Samples < minSamples {
+				continue
+			}
+			if geo.ConvexOverlap(nh.Hull, lh.Hull) {
+				c.OverlapCount++
+				if lh.PCI == nh.PCI {
+					c.SamePCIMatch = true
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// CoLocationRate returns the fraction of (sufficiently observed) NR cells
+// the heuristic deems co-located — the paper reports 5%-36% across the
+// three carriers for NSA low-band.
+func CoLocationRate(log *trace.Log, minSamples int) (rate float64, nrCells int) {
+	det := DetectCoLocation(log, minSamples)
+	if len(det) == 0 {
+		return 0, 0
+	}
+	co := 0
+	for _, d := range det {
+		if d.SamePCIMatch {
+			co++
+		}
+	}
+	return float64(co) / float64(len(det)), len(det)
+}

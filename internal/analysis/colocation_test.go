@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// syntheticLog builds a log where LTE PCI 7 and NR PCI 7 serve the same
+// street segment (co-located), while NR PCI 600 serves a disjoint one.
+func syntheticLog() *trace.Log {
+	l := &trace.Log{Carrier: "OpX", Arch: cellular.ArchNSA}
+	add := func(x, y float64, ltePCI, nrPCI cellular.PCI) {
+		s := trace.Sample{X: x, Y: y}
+		if ltePCI > 0 {
+			s.ServingLTE = trace.CellObs{PCI: ltePCI, Tech: cellular.TechLTE, Valid: true}
+		}
+		if nrPCI > 0 {
+			s.ServingNR = trace.CellObs{PCI: nrPCI, Tech: cellular.TechNR, Valid: true}
+		}
+		l.Samples = append(l.Samples, s)
+	}
+	// Segment A: LTE 7 + NR 7 overlap around (0..100, 0..10).
+	for i := 0; i < 20; i++ {
+		add(float64(i*5), float64(i%3), 7, 7)
+	}
+	// Segment B: LTE 7 continues; NR 600 takes over at (200..300).
+	for i := 0; i < 20; i++ {
+		add(200+float64(i*5), float64(i%3), 9, 600)
+	}
+	return l
+}
+
+func TestBuildPCIHulls(t *testing.T) {
+	l := syntheticLog()
+	lte := BuildPCIHulls(l, cellular.TechLTE)
+	if len(lte) != 2 {
+		t.Fatalf("got %d LTE hulls", len(lte))
+	}
+	nr := BuildPCIHulls(l, cellular.TechNR)
+	if len(nr) != 2 {
+		t.Fatalf("got %d NR hulls", len(nr))
+	}
+	for _, h := range append(lte, nr...) {
+		if h.Samples != 20 {
+			t.Errorf("hull %v has %d samples", h.PCI, h.Samples)
+		}
+		if len(h.Hull) < 3 {
+			t.Errorf("hull %v degenerate: %v", h.PCI, h.Hull)
+		}
+	}
+}
+
+func TestDetectCoLocation(t *testing.T) {
+	l := syntheticLog()
+	det := DetectCoLocation(l, 3)
+	if len(det) != 2 {
+		t.Fatalf("got %d detections", len(det))
+	}
+	byPCI := map[cellular.PCI]CoLocation{}
+	for _, d := range det {
+		byPCI[d.NRPCI] = d
+	}
+	if !byPCI[7].SamePCIMatch {
+		t.Error("NR 7 must be detected as co-located with LTE 7")
+	}
+	if byPCI[600].SamePCIMatch {
+		t.Error("NR 600 must not be co-located")
+	}
+	rate, n := CoLocationRate(l, 3)
+	if n != 2 || rate != 0.5 {
+		t.Errorf("rate = %v over %d cells", rate, n)
+	}
+}
+
+// TestHeuristicAgainstGroundTruth runs the hull heuristic over a simulated
+// drive whose topology has a known co-location fraction and checks the
+// detected rate lands in the paper's reported band shape (more co-location
+// configured → more detected).
+func TestHeuristicAgainstGroundTruth(t *testing.T) {
+	run := func(coloc float64, seed int64) float64 {
+		c := topology.OpX()
+		c.NRLayers = c.NRLayers[:1] // low-band only
+		c.NRLayers[0].CoLocate = coloc
+		log, err := sim.Run(sim.Config{
+			Carrier:      c,
+			Arch:         cellular.ArchNSA,
+			RouteKind:    geo.RouteFreeway,
+			RouteLengthM: 40000,
+			SpeedMPS:     29,
+			Seed:         seed,
+			TopoOpts:     topology.Options{SkipMMWave: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate, n := CoLocationRate(log, 10)
+		if n == 0 {
+			t.Fatal("no NR cells observed")
+		}
+		return rate
+	}
+	low := run(0.05, 3)
+	high := run(0.6, 3)
+	if high <= low {
+		t.Errorf("heuristic must track configured co-location: 5%%-cfg → %.2f, 60%%-cfg → %.2f", low, high)
+	}
+}

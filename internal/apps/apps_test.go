@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func driveLog(t *testing.T, seed int64) *trace.Log {
+	t.Helper()
+	log, err := sim.Run(sim.Config{
+		Carrier:      topology.OpX(),
+		Arch:         cellular.ArchNSA,
+		RouteKind:    geo.RouteCityLoop,
+		RouteLengthM: 4000,
+		Laps:         3,
+		SpeedMPS:     8.3,
+		BearerMode:   throughput.ModeSCG,
+		Seed:         seed,
+		TopoOpts:     topology.Options{CityDensity: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestConferencingHOImpact(t *testing.T) {
+	log := driveLog(t, 31)
+	series := SimulateConferencing(log, 1)
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	var latHO, latNo []float64
+	for _, s := range series {
+		if s.LatencyMS <= 0 || s.LossPct < 0 || s.LossPct > 100 {
+			t.Fatalf("implausible sample %+v", s)
+		}
+		if s.InHO {
+			latHO = append(latHO, s.LatencyMS)
+		} else {
+			latNo = append(latNo, s.LatencyMS)
+		}
+	}
+	if len(latHO) == 0 {
+		t.Fatal("no HO seconds in a multi-HO drive")
+	}
+	ratio := stats.Mean(latHO) / stats.Mean(latNo)
+	if ratio < 1.5 || ratio > 4 {
+		t.Errorf("HO latency inflation %vx, want ≈2.26x (§4.1)", ratio)
+	}
+	if stats.Max(latHO) > 14.5*stats.Mean(latNo)*1.2 {
+		t.Error("latency tail exceeds the 14.5x cap")
+	}
+}
+
+func TestGamingMNBHWorseThanSCGM(t *testing.T) {
+	log := driveLog(t, 33)
+	series := SimulateGaming(log, 2)
+	byType := map[cellular.HOType][]float64{}
+	drops := map[cellular.HOType][]float64{}
+	for _, s := range series {
+		if s.InHO {
+			byType[s.HOType] = append(byType[s.HOType], s.NetLatencyMS)
+			drops[s.HOType] = append(drops[s.HOType], s.DroppedPct)
+		}
+		if s.OtherLatMS <= 0 {
+			t.Fatal("other latency must stay positive and flat")
+		}
+	}
+	if len(byType[cellular.HOMNBH]) == 0 || len(byType[cellular.HOSCGM]) == 0 {
+		t.Skip("drive lacked both HO types")
+	}
+	if stats.Mean(byType[cellular.HOMNBH]) <= stats.Mean(byType[cellular.HOSCGM]) {
+		t.Error("MNBH must cost more latency than SCGM (§4.1)")
+	}
+	if stats.Mean(drops[cellular.HOMNBH]) <= stats.Mean(drops[cellular.HOSCGM]) {
+		t.Error("MNBH must drop more frames than SCGM (§4.1)")
+	}
+}
+
+func TestVolumetricBandSplit(t *testing.T) {
+	log := driveLog(t, 35)
+	series := SimulateVolumetric(log, 3)
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	var mmwNo, mmwHO []float64
+	for _, s := range series {
+		if s.BitrateMbps < 0 || s.BitrateMbps > 170 {
+			t.Fatalf("bitrate %v outside the ladder", s.BitrateMbps)
+		}
+		if s.Band == cellular.BandMMWave {
+			if s.InHO {
+				mmwHO = append(mmwHO, s.BitrateMbps)
+			} else {
+				mmwNo = append(mmwNo, s.BitrateMbps)
+			}
+		}
+	}
+	if len(mmwNo) == 0 {
+		t.Skip("no mmWave coverage on this seed")
+	}
+	if len(mmwHO) > 3 && stats.Median(mmwHO) >= stats.Median(mmwNo) {
+		t.Error("mmWave HO seconds must degrade bitrate (§4.1)")
+	}
+}
+
+func TestHoAtWindow(t *testing.T) {
+	hos := []cellular.HandoverEvent{{Time: 10 * time.Second, Type: cellular.HOSCGM, T2: 100 * time.Millisecond}}
+	if _, ok := hoAt(hos, 10*time.Second); !ok {
+		t.Error("HO instant not covered")
+	}
+	if _, ok := hoAt(hos, 9600*time.Millisecond); !ok {
+		t.Error("pre-window not covered")
+	}
+	if _, ok := hoAt(hos, 8*time.Second); ok {
+		t.Error("far-before covered")
+	}
+	if _, ok := hoAt(hos, 12*time.Second); ok {
+		t.Error("far-after covered")
+	}
+}

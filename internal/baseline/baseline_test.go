@@ -1,0 +1,173 @@
+package baseline_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/ran"
+	"repro/internal/sim"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func walkLog(t *testing.T, seed int64, laps int) *trace.Log {
+	t.Helper()
+	log, err := sim.Run(sim.Config{
+		Carrier:      topology.OpX(),
+		Arch:         cellular.ArchNSA,
+		RouteKind:    geo.RouteCityLoop,
+		RouteLengthM: 2500,
+		Laps:         laps,
+		SpeedMPS:     1.4,
+		BearerMode:   throughput.ModeSCG,
+		Seed:         seed,
+		TopoOpts:     topology.Options{CityDensity: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// splitLog cuts a log at the given fraction of its duration.
+func splitLog(l *trace.Log, frac float64) (train, test *trace.Log) {
+	cut := time.Duration(float64(l.Duration()) * frac)
+	train = &trace.Log{Carrier: l.Carrier, Arch: l.Arch, RouteKind: l.RouteKind}
+	test = &trace.Log{Carrier: l.Carrier, Arch: l.Arch, RouteKind: l.RouteKind}
+	for _, s := range l.Samples {
+		if s.Time < cut {
+			train.Samples = append(train.Samples, s)
+		} else {
+			test.Samples = append(test.Samples, s)
+		}
+	}
+	for _, r := range l.Reports {
+		if r.Time < cut {
+			train.Reports = append(train.Reports, r)
+		} else {
+			test.Reports = append(test.Reports, r)
+		}
+	}
+	for _, h := range l.Handovers {
+		if h.Time < cut {
+			train.Handovers = append(train.Handovers, h)
+		} else {
+			test.Handovers = append(test.Handovers, h)
+		}
+	}
+	return train, test
+}
+
+func TestGBCTrainsAndPredicts(t *testing.T) {
+	log := walkLog(t, 21, 4)
+	train, test := splitLog(log, 0.6)
+	params := baseline.GBCParams{Seed: 1}
+	examples := baseline.ExtractExamples(train, time.Second, params)
+	if len(examples) < 50 {
+		t.Fatalf("too few training examples: %d", len(examples))
+	}
+	pos := 0
+	for _, e := range examples {
+		if e.Class != 0 {
+			pos++
+		}
+	}
+	if pos == 0 {
+		t.Fatal("no positive examples extracted")
+	}
+	model, err := baseline.TrainGBC(examples, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := core.Replay(baseline.NewGBCPredictor(model), test)
+	ev := core.EvaluateEvents(ticks, test.Handovers, time.Second)
+	t.Logf("GBC on %d test HOs: F1=%.3f P=%.3f R=%.3f", len(test.Handovers), ev.F1(), ev.Precision(), ev.Recall())
+	if ev.TP+ev.FP+ev.FN == 0 {
+		t.Fatal("GBC evaluation produced no events at all")
+	}
+	// Training-set probabilities should be sane (sum to 1).
+	p := model.Probabilities(examples[0].Features)
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("probabilities do not sum to 1: %v", sum)
+	}
+}
+
+func TestLSTMTrainsAndPredicts(t *testing.T) {
+	log := walkLog(t, 23, 3)
+	train, test := splitLog(log, 0.6)
+	params := baseline.LSTMParams{Seed: 2, Epochs: 4}
+	seqs := baseline.ExtractSequences(train, time.Second, params)
+	if len(seqs) < 30 {
+		t.Fatalf("too few training sequences: %d", len(seqs))
+	}
+	model, err := baseline.TrainLSTM(seqs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := core.Replay(baseline.NewLSTMPredictor(model), test)
+	ev := core.EvaluateEvents(ticks, test.Handovers, time.Second)
+	t.Logf("LSTM on %d test HOs: F1=%.3f P=%.3f R=%.3f", len(test.Handovers), ev.F1(), ev.Precision(), ev.Recall())
+}
+
+func TestPrognosOutperformsBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison is slow")
+	}
+	log := walkLog(t, 25, 6)
+	train, test := splitLog(log, 0.6)
+
+	gbcParams := baseline.GBCParams{Seed: 3}
+	gbc, err := baseline.TrainGBC(baseline.ExtractExamples(train, time.Second, gbcParams), gbcParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lstmParams := baseline.LSTMParams{Seed: 4, Epochs: 4}
+	lstm, err := baseline.TrainLSTM(baseline.ExtractSequences(train, time.Second, lstmParams), lstmParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prognos learns online over the whole trace but is scored on the same
+	// test segment.
+	prog, err := core.New(core.Config{
+		EventConfigs:       ran.EventConfigsFor("OpX", cellular.ArchNSA),
+		Arch:               cellular.ArchNSA,
+		UseReportPredictor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progTicks := core.Replay(prog, log)
+	cut := test.Samples[0].Time
+	var progTest []core.TickPrediction
+	for _, tk := range progTicks {
+		if tk.Time >= cut {
+			progTest = append(progTest, tk)
+		}
+	}
+
+	f1 := map[string]float64{}
+	f1["prognos"] = core.EvaluateEvents(progTest, test.Handovers, time.Second).F1()
+	f1["gbc"] = core.EvaluateEvents(core.Replay(baseline.NewGBCPredictor(gbc), test), test.Handovers, time.Second).F1()
+	f1["lstm"] = core.EvaluateEvents(core.Replay(baseline.NewLSTMPredictor(lstm), test), test.Handovers, time.Second).F1()
+	t.Logf("F1: prognos=%.3f gbc=%.3f lstm=%.3f", f1["prognos"], f1["gbc"], f1["lstm"])
+
+	if f1["prognos"] <= f1["gbc"] {
+		t.Errorf("Prognos (%.3f) must outperform GBC (%.3f), Table 3", f1["prognos"], f1["gbc"])
+	}
+	if f1["prognos"] <= f1["lstm"] {
+		t.Errorf("Prognos (%.3f) must outperform LSTM (%.3f), Table 3", f1["prognos"], f1["lstm"])
+	}
+}

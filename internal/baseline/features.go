@@ -1,0 +1,162 @@
+// Package baseline implements the two published handover-prediction
+// approaches the paper compares Prognos against (§7.3): the gradient
+// boosting classifier of Mei et al. (lower-layer signal features) and the
+// stacked LSTM of Ozturk et al. (device location sequences). Both are
+// offline-trained, in contrast to Prognos' online learning, and both are
+// built from scratch on the standard library.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/cellular"
+	"repro/internal/trace"
+)
+
+// FeatureWindow turns a rolling window of cross-layer samples into the
+// fixed-length feature vector the GBC consumes: summary statistics and
+// slopes of the serving/neighbour signal qualities, mirroring Mei et al.'s
+// lower-layer feature set.
+type FeatureWindow struct {
+	size int
+	buf  []trace.Sample
+	head int
+	fill int
+}
+
+// NewFeatureWindow creates a rolling window over the given number of
+// samples (the paper uses 1 s = 20 samples).
+func NewFeatureWindow(size int) *FeatureWindow {
+	if size < 2 {
+		size = 2
+	}
+	return &FeatureWindow{size: size, buf: make([]trace.Sample, size)}
+}
+
+// Push adds one sample.
+func (w *FeatureWindow) Push(s trace.Sample) {
+	w.buf[w.head] = s
+	w.head = (w.head + 1) % w.size
+	if w.fill < w.size {
+		w.fill++
+	}
+}
+
+// Ready reports whether the window is full.
+func (w *FeatureWindow) Ready() bool { return w.fill == w.size }
+
+// ordered returns the window contents oldest-first.
+func (w *FeatureWindow) ordered() []trace.Sample {
+	out := make([]trace.Sample, 0, w.fill)
+	start := w.head - w.fill
+	if start < 0 {
+		start += w.size
+	}
+	for i := 0; i < w.fill; i++ {
+		out = append(out, w.buf[(start+i)%w.size])
+	}
+	return out
+}
+
+// NumFeatures is the length of the vector produced by Features.
+const NumFeatures = 26
+
+// Features extracts the feature vector from the current window. Missing
+// legs (e.g. no NR attachment) are encoded as a floor value plus a validity
+// flag, so the trees can split on attachment state.
+func (w *FeatureWindow) Features() []float64 {
+	samples := w.ordered()
+	f := make([]float64, 0, NumFeatures)
+
+	series := func(get func(trace.Sample) (float64, bool)) (mean, minv, maxv, slope, validFrac float64) {
+		n := 0
+		minv, maxv = math.Inf(1), math.Inf(-1)
+		var sx, sy, sxx, sxy float64
+		for i, s := range samples {
+			v, ok := get(s)
+			if !ok {
+				continue
+			}
+			n++
+			mean += v
+			if v < minv {
+				minv = v
+			}
+			if v > maxv {
+				maxv = v
+			}
+			x := float64(i)
+			sx += x
+			sy += v
+			sxx += x * x
+			sxy += x * v
+		}
+		if n == 0 {
+			return -140, -140, -140, 0, 0
+		}
+		mean /= float64(n)
+		den := float64(n)*sxx - sx*sx
+		if den != 0 {
+			slope = (float64(n)*sxy - sx*sy) / den
+		}
+		return mean, minv, maxv, slope, float64(n) / float64(len(samples))
+	}
+
+	add := func(get func(trace.Sample) (float64, bool)) {
+		mean, minv, maxv, slope, valid := series(get)
+		f = append(f, mean, minv, maxv, slope, valid)
+	}
+
+	add(func(s trace.Sample) (float64, bool) { return s.ServingLTE.RSRP, s.ServingLTE.Valid })
+	add(func(s trace.Sample) (float64, bool) { return s.NeighborLTE.RSRP, s.NeighborLTE.Valid })
+	add(func(s trace.Sample) (float64, bool) { return s.ServingNR.RSRP, s.ServingNR.Valid })
+	add(func(s trace.Sample) (float64, bool) { return s.NeighborNR.RSRP, s.NeighborNR.Valid })
+
+	last := samples[len(samples)-1]
+	sinr := last.ServingLTE.SINR
+	if !last.ServingLTE.Valid {
+		sinr = -20
+	}
+	rsrq := last.ServingLTE.RSRQ
+	if !last.ServingLTE.Valid {
+		rsrq = -20
+	}
+	gap := -40.0
+	if last.ServingLTE.Valid && last.NeighborLTE.Valid {
+		gap = last.NeighborLTE.RSRP - last.ServingLTE.RSRP
+	}
+	nrGap := -40.0
+	if last.ServingNR.Valid && last.NeighborNR.Valid {
+		nrGap = last.NeighborNR.RSRP - last.ServingNR.RSRP
+	}
+	nrAttached := 0.0
+	if last.ServingNR.Valid {
+		nrAttached = 1
+	}
+	band := float64(int(last.ServingNR.Band))
+	f = append(f, sinr, rsrq, gap, nrGap, nrAttached, band)
+	return f
+}
+
+// Label is a training example: features (or location sequence) and the HO
+// class occurring within the following prediction window.
+type Label struct {
+	Features []float64
+	Seq      [][]float64 // location sequence for the LSTM
+	Class    int         // index into Classes
+}
+
+// Classes enumerates the prediction classes: index 0 is "no handover".
+func Classes() []cellular.HOType {
+	return append([]cellular.HOType{cellular.HONone}, cellular.AllHOTypes()...)
+}
+
+// ClassIndex maps a handover type to its class index.
+func ClassIndex(t cellular.HOType) int {
+	for i, c := range Classes() {
+		if c == t {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// GBCParams tunes the gradient boosting classifier.
+type GBCParams struct {
+	Rounds       int     // boosting iterations (default 40)
+	LearningRate float64 // shrinkage (default 0.15)
+	MaxDepth     int     // tree depth (default 3)
+	WindowSize   int     // feature window in samples (default 20 = 1 s)
+	// NegativeKeep is the fraction of "no HO" windows kept for training
+	// (the raw stream is ~99.6% negative; default 0.08).
+	NegativeKeep float64
+	Seed         int64
+}
+
+func (p GBCParams) withDefaults() GBCParams {
+	if p.Rounds == 0 {
+		p.Rounds = 40
+	}
+	if p.LearningRate == 0 {
+		p.LearningRate = 0.15
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 3
+	}
+	if p.WindowSize == 0 {
+		p.WindowSize = 20
+	}
+	if p.NegativeKeep == 0 {
+		p.NegativeKeep = 0.08
+	}
+	return p
+}
+
+// GBC is a multi-class gradient boosting classifier over lower-layer signal
+// features, reproducing the approach of Mei et al. that the paper compares
+// against. One regression tree per class per round fits the softmax
+// residuals.
+type GBC struct {
+	params  GBCParams
+	classes []cellular.HOType
+	trees   [][]*regTree // [round][class]
+	prior   []float64
+}
+
+// TrainGBC fits a GBC on labelled windows extracted from training logs.
+func TrainGBC(examples []Label, params GBCParams) (*GBC, error) {
+	params = params.withDefaults()
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("baseline: no training examples")
+	}
+	classes := Classes()
+	k := len(classes)
+	n := len(examples)
+	X := make([][]float64, n)
+	Y := make([]int, n)
+	for i, e := range examples {
+		if len(e.Features) == 0 {
+			return nil, fmt.Errorf("baseline: example %d has no features", i)
+		}
+		X[i] = e.Features
+		Y[i] = e.Class
+	}
+
+	// Priors from class frequencies (log-odds init).
+	prior := make([]float64, k)
+	for _, y := range Y {
+		prior[y]++
+	}
+	for c := range prior {
+		p := (prior[c] + 1) / float64(n+k)
+		prior[c] = clampLog(logit(p))
+	}
+
+	F := make([][]float64, n) // current scores per sample per class
+	for i := range F {
+		F[i] = append([]float64(nil), prior...)
+	}
+
+	g := &GBC{params: params, classes: classes, prior: prior}
+	resid := make([]float64, n)
+	for round := 0; round < params.Rounds; round++ {
+		roundTrees := make([]*regTree, k)
+		for c := 0; c < k; c++ {
+			for i := range X {
+				p := softmax(F[i])
+				target := 0.0
+				if Y[i] == c {
+					target = 1
+				}
+				resid[i] = target - p[c]
+			}
+			tree := fitTree(X, resid, nil, treeParams{maxDepth: params.MaxDepth, minSamples: 10})
+			roundTrees[c] = tree
+			for i := range X {
+				F[i][c] += params.LearningRate * tree.predict(X[i])
+			}
+		}
+		g.trees = append(g.trees, roundTrees)
+	}
+	return g, nil
+}
+
+func logit(p float64) float64 {
+	if p <= 0 {
+		p = 1e-9
+	}
+	if p >= 1 {
+		p = 1 - 1e-9
+	}
+	return math.Log(p / (1 - p))
+}
+
+// Probabilities returns the class probability vector for a feature vector.
+func (g *GBC) Probabilities(x []float64) []float64 {
+	scores := append([]float64(nil), g.prior...)
+	for _, round := range g.trees {
+		for c, tree := range round {
+			scores[c] += g.params.LearningRate * tree.predict(x)
+		}
+	}
+	return softmax(scores)
+}
+
+// PredictClass returns the most likely class and its probability.
+func (g *GBC) PredictClass(x []float64) (cellular.HOType, float64) {
+	p := g.Probabilities(x)
+	best, bp := 0, p[0]
+	for c := 1; c < len(p); c++ {
+		if p[c] > bp {
+			best, bp = c, p[c]
+		}
+	}
+	return g.classes[best], bp
+}
+
+// ExtractExamples builds labelled windows from a log: the feature window
+// ending at each second, labelled with the HO type commanded in the next
+// prediction window. Negative windows are subsampled for class balance.
+func ExtractExamples(log *trace.Log, window time.Duration, params GBCParams) []Label {
+	params = params.withDefaults()
+	rng := rand.New(rand.NewSource(params.Seed + 1))
+	fw := NewFeatureWindow(params.WindowSize)
+	var out []Label
+	hi := 0
+	nextBoundary := time.Duration(0)
+	for _, s := range log.Samples {
+		fw.Push(s)
+		if s.Time < nextBoundary || !fw.Ready() {
+			continue
+		}
+		nextBoundary = s.Time + window
+		// Label: first HO within (s.Time, s.Time+window].
+		for hi < len(log.Handovers) && log.Handovers[hi].Time <= s.Time {
+			hi++
+		}
+		cls := 0
+		if hi < len(log.Handovers) && log.Handovers[hi].Time <= s.Time+window {
+			cls = ClassIndex(log.Handovers[hi].Type)
+		}
+		if cls == 0 && rng.Float64() > params.NegativeKeep {
+			continue
+		}
+		out = append(out, Label{Features: fw.Features(), Class: cls})
+	}
+	return out
+}
+
+// GBCPredictor adapts a trained GBC to the core.Predictor interface for
+// trace-driven evaluation.
+type GBCPredictor struct {
+	model  *GBC
+	window *FeatureWindow
+	// Threshold is the minimum positive-class probability required to emit
+	// a HO prediction (default 0.5).
+	Threshold float64
+}
+
+// NewGBCPredictor wraps a trained model.
+func NewGBCPredictor(model *GBC) *GBCPredictor {
+	return &GBCPredictor{model: model, window: NewFeatureWindow(model.params.WindowSize), Threshold: 0.5}
+}
+
+// OnSample feeds the rolling feature window.
+func (p *GBCPredictor) OnSample(s trace.Sample) { p.window.Push(s) }
+
+// OnReport is a no-op: the GBC uses lower-layer features only.
+func (p *GBCPredictor) OnReport(cellular.MeasurementReport) {}
+
+// OnHandover is a no-op: the GBC is trained offline.
+func (p *GBCPredictor) OnHandover(cellular.HandoverEvent) {}
+
+// Predict classifies the current window.
+func (p *GBCPredictor) Predict() core.Prediction {
+	if !p.window.Ready() {
+		return core.Prediction{Type: cellular.HONone, Score: 1}
+	}
+	cls, prob := p.model.PredictClass(p.window.Features())
+	if cls == cellular.HONone || prob < p.Threshold {
+		return core.Prediction{Type: cellular.HONone, Score: 1}
+	}
+	return core.Prediction{Type: cls, Score: core.DefaultScores().Score(cls), Similarity: prob}
+}

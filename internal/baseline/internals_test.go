@@ -1,0 +1,233 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/trace"
+)
+
+func TestSoftmax(t *testing.T) {
+	p := softmax([]float64{1, 2, 3})
+	sum := 0.0
+	for i := 1; i < len(p); i++ {
+		if p[i] <= p[i-1] {
+			t.Error("softmax must preserve ordering")
+		}
+	}
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	// Numerical stability with huge logits.
+	p = softmax([]float64{1000, 1001})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Error("softmax overflowed")
+	}
+}
+
+func TestRegressionTreeFitsStep(t *testing.T) {
+	// y = 1 when x0 > 0.5 else 0: a depth-1 tree should nail it.
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x, rng.Float64()})
+		if x > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tree := fitTree(X, y, nil, treeParams{maxDepth: 2, minSamples: 4})
+	errs := 0
+	for i := range X {
+		pred := tree.predict(X[i])
+		if math.Abs(pred-y[i]) > 0.3 {
+			errs++
+		}
+	}
+	if float64(errs)/float64(len(X)) > 0.1 {
+		t.Errorf("tree misfit %d/%d samples on a step function", errs, len(X))
+	}
+}
+
+func TestRegressionTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	tree := fitTree(X, y, nil, treeParams{maxDepth: 3, minSamples: 2})
+	if got := tree.predict([]float64{2.5}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("constant target predicted %v", got)
+	}
+}
+
+func TestFeatureWindow(t *testing.T) {
+	w := NewFeatureWindow(4)
+	if w.Ready() {
+		t.Error("empty window ready")
+	}
+	for i := 0; i < 4; i++ {
+		w.Push(trace.Sample{ServingLTE: trace.CellObs{Valid: true, RSRP: float64(-90 - i)}})
+	}
+	if !w.Ready() {
+		t.Error("full window not ready")
+	}
+	f := w.Features()
+	if len(f) != NumFeatures {
+		t.Fatalf("feature vector length %d, want %d", len(f), NumFeatures)
+	}
+	// First block is serving-LTE RSRP stats: mean, min, max, slope, valid.
+	if f[0] > -90 || f[0] < -93 {
+		t.Errorf("mean RSRP feature %v", f[0])
+	}
+	if f[1] != -93 || f[2] != -90 {
+		t.Errorf("min/max features %v/%v", f[1], f[2])
+	}
+	if f[3] >= 0 {
+		t.Errorf("declining series slope %v", f[3])
+	}
+	if f[4] != 1 {
+		t.Errorf("validity fraction %v", f[4])
+	}
+	// Missing NR leg encodes the floor with zero validity.
+	if f[10] != -140 || f[14] != 0 {
+		t.Errorf("missing NR features: %v / %v", f[10], f[14])
+	}
+}
+
+func TestClasses(t *testing.T) {
+	cs := Classes()
+	if cs[0] != cellular.HONone {
+		t.Error("class 0 must be the negative class")
+	}
+	if len(cs) != 8 {
+		t.Errorf("%d classes", len(cs))
+	}
+	if ClassIndex(cellular.HOSCGC) == 0 {
+		t.Error("SCGC must map to a positive class")
+	}
+	if ClassIndex(cellular.HOType(99)) != 0 {
+		t.Error("unknown types default to the negative class")
+	}
+}
+
+// TestLSTMGradient numerically verifies the BPTT gradients of one LSTM
+// layer: analytic dL/dw must match (L(w+e)-L(w-e))/2e.
+func TestLSTMGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	layer := newLSTMLayer(3, 4, rng)
+	x := []float64{0.3, -0.2, 0.5}
+	hPrev := []float64{0.1, -0.1, 0.2, 0}
+	cPrev := []float64{0, 0.2, -0.3, 0.1}
+
+	// Loss = sum(h): dL/dh = 1.
+	loss := func() float64 {
+		cache := layer.forward(x, hPrev, cPrev)
+		s := 0.0
+		for _, v := range cache.h {
+			s += v
+		}
+		return s
+	}
+
+	cache := layer.forward(x, hPrev, cPrev)
+	dh := []float64{1, 1, 1, 1}
+	dc := make([]float64, 4)
+	for i := range layer.wx.g {
+		layer.wx.g[i] = 0
+	}
+	layer.backward(cache, dh, dc)
+
+	const eps = 1e-5
+	checked := 0
+	for _, idx := range []int{0, 5, 17, 30, len(layer.wx.w) - 1} {
+		orig := layer.wx.w[idx]
+		layer.wx.w[idx] = orig + eps
+		lp := loss()
+		layer.wx.w[idx] = orig - eps
+		lm := loss()
+		layer.wx.w[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := layer.wx.g[idx]
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("wx[%d]: analytic %v vs numeric %v", idx, analytic, numeric)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no gradients checked")
+	}
+}
+
+func TestLSTMLearnsToSeparate(t *testing.T) {
+	// Two trivially separable sequence classes: constant positive vs
+	// constant negative inputs. A working trainer must fit them.
+	var examples []Label
+	for i := 0; i < 40; i++ {
+		pos := make([][]float64, 6)
+		neg := make([][]float64, 6)
+		for k := range pos {
+			pos[k] = []float64{1, 1, 1, 1, 1}
+			neg[k] = []float64{-1, -1, -1, -1, -1}
+		}
+		examples = append(examples, Label{Seq: pos, Class: 1}, Label{Seq: neg, Class: 0})
+	}
+	m, err := TrainLSTM(examples, LSTMParams{Hidden: 8, SeqLen: 6, Epochs: 25, Seed: 3, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range examples {
+		cls, _ := m.PredictClass(ex.Seq)
+		if ClassIndex(cls) == ex.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(examples)); acc < 0.95 {
+		t.Errorf("LSTM accuracy %v on a separable toy problem", acc)
+	}
+}
+
+func TestGBCLearnsToSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var examples []Label
+	for i := 0; i < 300; i++ {
+		f := make([]float64, NumFeatures)
+		for d := range f {
+			f[d] = rng.NormFloat64()
+		}
+		cls := 0
+		if f[0] > 0.2 {
+			cls = 1
+		}
+		examples = append(examples, Label{Features: f, Class: cls})
+	}
+	m, err := TrainGBC(examples, GBCParams{Rounds: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range examples {
+		cls, _ := m.PredictClass(ex.Features)
+		if ClassIndex(cls) == ex.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(examples)); acc < 0.9 {
+		t.Errorf("GBC accuracy %v on a separable toy problem", acc)
+	}
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, err := TrainGBC(nil, GBCParams{}); err == nil {
+		t.Error("GBC accepted empty training set")
+	}
+	if _, err := TrainLSTM(nil, LSTMParams{}); err == nil {
+		t.Error("LSTM accepted empty training set")
+	}
+}

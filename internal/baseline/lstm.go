@@ -1,0 +1,444 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// LSTMParams tunes the stacked-LSTM baseline (Ozturk et al.): a two-layer
+// LSTM over device location/speed sequences with a softmax head.
+type LSTMParams struct {
+	Hidden int     // hidden units per layer (default 16)
+	SeqLen int     // input sequence length in samples (default 20)
+	Epochs int     // training epochs (default 8)
+	LR     float64 // Adam learning rate (default 0.01)
+	// NegativeKeep subsamples "no HO" sequences (default 0.08).
+	NegativeKeep float64
+	Seed         int64
+}
+
+func (p LSTMParams) withDefaults() LSTMParams {
+	if p.Hidden == 0 {
+		p.Hidden = 16
+	}
+	if p.SeqLen == 0 {
+		p.SeqLen = 20
+	}
+	if p.Epochs == 0 {
+		p.Epochs = 8
+	}
+	if p.LR == 0 {
+		p.LR = 0.01
+	}
+	if p.NegativeKeep == 0 {
+		p.NegativeKeep = 0.08
+	}
+	return p
+}
+
+// lstmInputDim: normalised (x, y, speed, dx, dy) per step.
+const lstmInputDim = 5
+
+// adamParam is one parameter tensor with Adam optimiser state.
+type adamParam struct {
+	w, g, m, v []float64
+}
+
+func newAdamParam(n int, scale float64, rng *rand.Rand) *adamParam {
+	p := &adamParam{
+		w: make([]float64, n),
+		g: make([]float64, n),
+		m: make([]float64, n),
+		v: make([]float64, n),
+	}
+	if scale > 0 {
+		for i := range p.w {
+			p.w[i] = rng.NormFloat64() * scale
+		}
+	}
+	return p
+}
+
+// step applies one Adam update and clears the gradient.
+func (p *adamParam) step(lr float64, t int) {
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(b1, float64(t))
+	bc2 := 1 - math.Pow(b2, float64(t))
+	for i := range p.w {
+		g := p.g[i]
+		p.m[i] = b1*p.m[i] + (1-b1)*g
+		p.v[i] = b2*p.v[i] + (1-b2)*g*g
+		p.w[i] -= lr * (p.m[i] / bc1) / (math.Sqrt(p.v[i]/bc2) + eps)
+		p.g[i] = 0
+	}
+}
+
+// lstmLayer is one LSTM layer; gate order in the stacked weights is
+// [input, forget, output, cell].
+type lstmLayer struct {
+	in, hid   int
+	wx, wh, b *adamParam
+}
+
+func newLSTMLayer(in, hid int, rng *rand.Rand) *lstmLayer {
+	scale := 1 / math.Sqrt(float64(in+hid))
+	l := &lstmLayer{
+		in: in, hid: hid,
+		wx: newAdamParam(4*hid*in, scale, rng),
+		wh: newAdamParam(4*hid*hid, scale, rng),
+		b:  newAdamParam(4*hid, 0, rng),
+	}
+	for i := hid; i < 2*hid; i++ {
+		l.b.w[i] = 1 // forget-gate bias
+	}
+	return l
+}
+
+// lstmCache holds one step's activations for BPTT.
+type lstmCache struct {
+	x, hPrev, cPrev []float64
+	ig, fg, og, gg  []float64
+	c, tanhC, h     []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward computes one time step, returning the cache.
+func (l *lstmLayer) forward(x, hPrev, cPrev []float64) lstmCache {
+	h := l.hid
+	cache := lstmCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		ig: make([]float64, h), fg: make([]float64, h), og: make([]float64, h), gg: make([]float64, h),
+		c: make([]float64, h), tanhC: make([]float64, h), h: make([]float64, h),
+	}
+	for j := 0; j < 4*h; j++ {
+		z := l.b.w[j]
+		for k := 0; k < l.in; k++ {
+			z += l.wx.w[j*l.in+k] * x[k]
+		}
+		for k := 0; k < h; k++ {
+			z += l.wh.w[j*h+k] * hPrev[k]
+		}
+		switch {
+		case j < h:
+			cache.ig[j] = sigmoid(z)
+		case j < 2*h:
+			cache.fg[j-h] = sigmoid(z)
+		case j < 3*h:
+			cache.og[j-2*h] = sigmoid(z)
+		default:
+			cache.gg[j-3*h] = math.Tanh(z)
+		}
+	}
+	for j := 0; j < h; j++ {
+		cache.c[j] = cache.fg[j]*cPrev[j] + cache.ig[j]*cache.gg[j]
+		cache.tanhC[j] = math.Tanh(cache.c[j])
+		cache.h[j] = cache.og[j] * cache.tanhC[j]
+	}
+	return cache
+}
+
+// backward accumulates gradients for one step; dh/dc are gradients flowing
+// into this step's h and c. It returns gradients for x, hPrev, cPrev.
+func (l *lstmLayer) backward(cache lstmCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	h := l.hid
+	dx = make([]float64, l.in)
+	dhPrev = make([]float64, h)
+	dcPrev = make([]float64, h)
+	dz := make([]float64, 4*h)
+	for j := 0; j < h; j++ {
+		dcj := dc[j] + dh[j]*cache.og[j]*(1-cache.tanhC[j]*cache.tanhC[j])
+		do := dh[j] * cache.tanhC[j]
+		di := dcj * cache.gg[j]
+		df := dcj * cache.cPrev[j]
+		dg := dcj * cache.ig[j]
+		dcPrev[j] = dcj * cache.fg[j]
+		dz[j] = di * cache.ig[j] * (1 - cache.ig[j])
+		dz[h+j] = df * cache.fg[j] * (1 - cache.fg[j])
+		dz[2*h+j] = do * cache.og[j] * (1 - cache.og[j])
+		dz[3*h+j] = dg * (1 - cache.gg[j]*cache.gg[j])
+	}
+	for j := 0; j < 4*h; j++ {
+		l.b.g[j] += dz[j]
+		for k := 0; k < l.in; k++ {
+			l.wx.g[j*l.in+k] += dz[j] * cache.x[k]
+			dx[k] += dz[j] * l.wx.w[j*l.in+k]
+		}
+		for k := 0; k < h; k++ {
+			l.wh.g[j*h+k] += dz[j] * cache.hPrev[k]
+			dhPrev[k] += dz[j] * l.wh.w[j*h+k]
+		}
+	}
+	return dx, dhPrev, dcPrev
+}
+
+// StackedLSTM is the two-layer LSTM classifier.
+type StackedLSTM struct {
+	params LSTMParams
+	l1, l2 *lstmLayer
+	// head: dense softmax over classes.
+	hw, hb  *adamParam
+	classes []cellular.HOType
+	adamT   int
+	// input normalisation (fit on training data).
+	mean, std []float64
+}
+
+// TrainLSTM fits the stacked LSTM on labelled sequences.
+func TrainLSTM(examples []Label, params LSTMParams) (*StackedLSTM, error) {
+	params = params.withDefaults()
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("baseline: no training sequences")
+	}
+	rng := rand.New(rand.NewSource(params.Seed + 7))
+	classes := Classes()
+	k := len(classes)
+	m := &StackedLSTM{
+		params:  params,
+		l1:      newLSTMLayer(lstmInputDim, params.Hidden, rng),
+		l2:      newLSTMLayer(params.Hidden, params.Hidden, rng),
+		hw:      newAdamParam(k*params.Hidden, 1/math.Sqrt(float64(params.Hidden)), rng),
+		hb:      newAdamParam(k, 0, rng),
+		classes: classes,
+	}
+	m.fitNorm(examples)
+
+	order := rng.Perm(len(examples))
+	for epoch := 0; epoch < params.Epochs; epoch++ {
+		for _, idx := range order {
+			ex := examples[idx]
+			if len(ex.Seq) == 0 {
+				continue
+			}
+			m.trainOne(ex)
+		}
+	}
+	return m, nil
+}
+
+// fitNorm computes per-dimension normalisation over the training inputs.
+func (m *StackedLSTM) fitNorm(examples []Label) {
+	m.mean = make([]float64, lstmInputDim)
+	m.std = make([]float64, lstmInputDim)
+	n := 0
+	for _, e := range examples {
+		for _, x := range e.Seq {
+			for d := 0; d < lstmInputDim && d < len(x); d++ {
+				m.mean[d] += x[d]
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		for d := range m.std {
+			m.std[d] = 1
+		}
+		return
+	}
+	for d := range m.mean {
+		m.mean[d] /= float64(n)
+	}
+	for _, e := range examples {
+		for _, x := range e.Seq {
+			for d := 0; d < lstmInputDim && d < len(x); d++ {
+				diff := x[d] - m.mean[d]
+				m.std[d] += diff * diff
+			}
+		}
+	}
+	for d := range m.std {
+		m.std[d] = math.Sqrt(m.std[d] / float64(n))
+		if m.std[d] < 1e-6 {
+			m.std[d] = 1
+		}
+	}
+}
+
+func (m *StackedLSTM) normalize(x []float64) []float64 {
+	out := make([]float64, lstmInputDim)
+	for d := 0; d < lstmInputDim && d < len(x); d++ {
+		out[d] = (x[d] - m.mean[d]) / m.std[d]
+	}
+	return out
+}
+
+// forwardSeq runs the stack over a sequence, returning the caches and the
+// softmax probabilities at the final step.
+func (m *StackedLSTM) forwardSeq(seq [][]float64) (c1, c2 []lstmCache, probs []float64) {
+	h := m.params.Hidden
+	h1, cc1 := make([]float64, h), make([]float64, h)
+	h2, cc2 := make([]float64, h), make([]float64, h)
+	for _, raw := range seq {
+		x := m.normalize(raw)
+		s1 := m.l1.forward(x, h1, cc1)
+		s2 := m.l2.forward(s1.h, h2, cc2)
+		c1 = append(c1, s1)
+		c2 = append(c2, s2)
+		h1, cc1 = s1.h, s1.c
+		h2, cc2 = s2.h, s2.c
+	}
+	k := len(m.classes)
+	logits := make([]float64, k)
+	for c := 0; c < k; c++ {
+		z := m.hb.w[c]
+		for j := 0; j < h; j++ {
+			z += m.hw.w[c*h+j] * h2[j]
+		}
+		logits[c] = z
+	}
+	return c1, c2, softmax(logits)
+}
+
+// trainOne runs one sequence forward/backward and applies an Adam step.
+func (m *StackedLSTM) trainOne(ex Label) {
+	c1, c2, probs := m.forwardSeq(ex.Seq)
+	if len(c2) == 0 {
+		return
+	}
+	h := m.params.Hidden
+	k := len(m.classes)
+	// Head gradients (cross-entropy): dlogit = p - y.
+	hTop := c2[len(c2)-1].h
+	dh2 := make([]float64, h)
+	for c := 0; c < k; c++ {
+		d := probs[c]
+		if c == ex.Class {
+			d -= 1
+		}
+		m.hb.g[c] += d
+		for j := 0; j < h; j++ {
+			m.hw.g[c*h+j] += d * hTop[j]
+			dh2[j] += d * m.hw.w[c*h+j]
+		}
+	}
+	dc2 := make([]float64, h)
+	dh1 := make([]float64, h)
+	dc1 := make([]float64, h)
+	for t := len(c2) - 1; t >= 0; t-- {
+		dxl2, dhPrev2, dcPrev2 := m.l2.backward(c2[t], dh2, dc2)
+		for j := 0; j < h; j++ {
+			dh1[j] += dxl2[j]
+		}
+		_, dhPrev1, dcPrev1 := m.l1.backward(c1[t], dh1, dc1)
+		dh2, dc2 = dhPrev2, dcPrev2
+		dh1, dc1 = dhPrev1, dcPrev1
+	}
+	m.adamT++
+	lr := m.params.LR
+	m.l1.wx.step(lr, m.adamT)
+	m.l1.wh.step(lr, m.adamT)
+	m.l1.b.step(lr, m.adamT)
+	m.l2.wx.step(lr, m.adamT)
+	m.l2.wh.step(lr, m.adamT)
+	m.l2.b.step(lr, m.adamT)
+	m.hw.step(lr, m.adamT)
+	m.hb.step(lr, m.adamT)
+}
+
+// PredictClass classifies a sequence.
+func (m *StackedLSTM) PredictClass(seq [][]float64) (cellular.HOType, float64) {
+	_, _, probs := m.forwardSeq(seq)
+	best, bp := 0, probs[0]
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > bp {
+			best, bp = c, probs[c]
+		}
+	}
+	return m.classes[best], bp
+}
+
+// locFeatures derives the LSTM input vector from one sample and its
+// predecessor.
+func locFeatures(s, prev trace.Sample) []float64 {
+	return []float64{
+		s.X / 1000, s.Y / 1000, s.SpeedMPS / 30,
+		(s.X - prev.X), (s.Y - prev.Y),
+	}
+}
+
+// ExtractSequences builds labelled location sequences from a log, mirroring
+// ExtractExamples' windowing and negative subsampling.
+func ExtractSequences(log *trace.Log, window time.Duration, params LSTMParams) []Label {
+	params = params.withDefaults()
+	rng := rand.New(rand.NewSource(params.Seed + 11))
+	var out []Label
+	hi := 0
+	nextBoundary := time.Duration(0)
+	for i, s := range log.Samples {
+		if s.Time < nextBoundary || i < params.SeqLen {
+			continue
+		}
+		nextBoundary = s.Time + window
+		for hi < len(log.Handovers) && log.Handovers[hi].Time <= s.Time {
+			hi++
+		}
+		cls := 0
+		if hi < len(log.Handovers) && log.Handovers[hi].Time <= s.Time+window {
+			cls = ClassIndex(log.Handovers[hi].Type)
+		}
+		if cls == 0 && rng.Float64() > params.NegativeKeep {
+			continue
+		}
+		seq := make([][]float64, 0, params.SeqLen)
+		for j := i - params.SeqLen + 1; j <= i; j++ {
+			prev := log.Samples[j]
+			if j > 0 {
+				prev = log.Samples[j-1]
+			}
+			seq = append(seq, locFeatures(log.Samples[j], prev))
+		}
+		out = append(out, Label{Seq: seq, Class: cls})
+	}
+	return out
+}
+
+// LSTMPredictor adapts a trained StackedLSTM to the core.Predictor
+// interface.
+type LSTMPredictor struct {
+	model *StackedLSTM
+	buf   []trace.Sample
+	// Threshold is the minimum probability to emit a positive prediction.
+	Threshold float64
+}
+
+// NewLSTMPredictor wraps a trained model.
+func NewLSTMPredictor(model *StackedLSTM) *LSTMPredictor {
+	return &LSTMPredictor{model: model, Threshold: 0.5}
+}
+
+// OnSample appends to the rolling sequence buffer.
+func (p *LSTMPredictor) OnSample(s trace.Sample) {
+	p.buf = append(p.buf, s)
+	if max := p.model.params.SeqLen + 1; len(p.buf) > max {
+		p.buf = p.buf[len(p.buf)-max:]
+	}
+}
+
+// OnReport is a no-op: the LSTM uses location only.
+func (p *LSTMPredictor) OnReport(cellular.MeasurementReport) {}
+
+// OnHandover is a no-op: the LSTM is trained offline.
+func (p *LSTMPredictor) OnHandover(cellular.HandoverEvent) {}
+
+// Predict classifies the current sequence.
+func (p *LSTMPredictor) Predict() core.Prediction {
+	n := p.model.params.SeqLen
+	if len(p.buf) < n+1 {
+		return core.Prediction{Type: cellular.HONone, Score: 1}
+	}
+	seq := make([][]float64, 0, n)
+	for i := len(p.buf) - n; i < len(p.buf); i++ {
+		seq = append(seq, locFeatures(p.buf[i], p.buf[i-1]))
+	}
+	cls, prob := p.model.PredictClass(seq)
+	if cls == cellular.HONone || prob < p.Threshold {
+		return core.Prediction{Type: cellular.HONone, Score: 1}
+	}
+	return core.Prediction{Type: cls, Score: core.DefaultScores().Score(cls), Similarity: prob}
+}

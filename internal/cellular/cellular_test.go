@@ -1,0 +1,166 @@
+package cellular
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHOTypeStrings(t *testing.T) {
+	want := map[HOType]string{
+		HONone: "NONE", HOSCGA: "SCGA", HOSCGR: "SCGR", HOSCGM: "SCGM",
+		HOSCGC: "SCGC", HOMNBH: "MNBH", HOMCGH: "MCGH", HOLTEH: "LTEH",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), s)
+		}
+	}
+}
+
+func TestHOTaxonomy(t *testing.T) {
+	// Table 2: the 4G/5G categorisation of each procedure.
+	fiveG := map[HOType]bool{
+		HOSCGA: true, HOSCGR: true, HOSCGM: true, HOSCGC: true, HOMCGH: true,
+		HOMNBH: false, HOLTEH: false, HONone: false,
+	}
+	for ty, want := range fiveG {
+		if ty.Is5G() != want {
+			t.Errorf("%v.Is5G() = %v, want %v", ty, ty.Is5G(), want)
+		}
+	}
+	if !HOSCGA.IsVertical() || !HOSCGR.IsVertical() {
+		t.Error("SCG addition/release are vertical HOs")
+	}
+	for _, ty := range []HOType{HOSCGM, HOSCGC, HOMNBH, HOMCGH, HOLTEH} {
+		if ty.IsVertical() {
+			t.Errorf("%v should be horizontal", ty)
+		}
+	}
+	if len(AllHOTypes()) != 7 {
+		t.Errorf("AllHOTypes has %d entries", len(AllHOTypes()))
+	}
+}
+
+func TestBandFrequencies(t *testing.T) {
+	if BandLow.CenterFrequencyHz() >= BandMid.CenterFrequencyHz() {
+		t.Error("low band must be below mid band")
+	}
+	if BandMid.CenterFrequencyHz() >= BandMMWave.CenterFrequencyHz() {
+		t.Error("mid band must be below mmWave")
+	}
+}
+
+// TestEventTriggers checks every Table 4 entering condition at
+// representative operating points.
+func TestEventTriggers(t *testing.T) {
+	cases := []struct {
+		name     string
+		cfg      EventConfig
+		serv, nb float64
+		want     bool
+	}{
+		{"A1 above", EventConfig{Type: EventA1, Threshold1: -90, Hysteresis: 1}, -80, 0, true},
+		{"A1 below", EventConfig{Type: EventA1, Threshold1: -90, Hysteresis: 1}, -95, 0, false},
+		{"A1 inside hysteresis", EventConfig{Type: EventA1, Threshold1: -90, Hysteresis: 2}, -89, 0, false},
+		{"A2 below", EventConfig{Type: EventA2, Threshold1: -100, Hysteresis: 1}, -105, 0, true},
+		{"A2 above", EventConfig{Type: EventA2, Threshold1: -100, Hysteresis: 1}, -95, 0, false},
+		{"A3 offset better", EventConfig{Type: EventA3, Offset: 3, Hysteresis: 1}, -100, -95, true},
+		{"A3 not better enough", EventConfig{Type: EventA3, Offset: 3, Hysteresis: 1}, -100, -97.5, false},
+		{"A4 neighbour above", EventConfig{Type: EventA4, Threshold1: -100, Hysteresis: 1}, -120, -95, true},
+		{"B1 inter-RAT", EventConfig{Type: EventB1, Threshold1: -104, Hysteresis: 1}, -90, -100, true},
+		{"B1 weak candidate", EventConfig{Type: EventB1, Threshold1: -104, Hysteresis: 1}, -90, -104, false},
+		{"A5 both sides", EventConfig{Type: EventA5, Threshold1: -100, Threshold2: -98, Hysteresis: 1}, -105, -95, true},
+		{"A5 serving ok", EventConfig{Type: EventA5, Threshold1: -100, Threshold2: -98, Hysteresis: 1}, -95, -90, false},
+		{"A5 neighbour weak", EventConfig{Type: EventA5, Threshold1: -100, Threshold2: -98, Hysteresis: 1}, -105, -99, false},
+		{"Periodic", EventConfig{Type: EventPeriodic}, -150, -150, true},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Entering(c.serv, c.nb); got != c.want {
+			t.Errorf("%s: Entering(%v, %v) = %v, want %v", c.name, c.serv, c.nb, got, c.want)
+		}
+	}
+}
+
+// TestHysteresisMonotone is a property test: increasing hysteresis can only
+// make the entering condition harder to satisfy.
+func TestHysteresisMonotone(t *testing.T) {
+	f := func(serv, nb, thr, h1, h2 float64) bool {
+		h1, h2 = abs(h1), abs(h2)
+		if h1 > h2 {
+			h1, h2 = h2, h1
+		}
+		for _, ty := range []EventType{EventA1, EventA2, EventA3, EventA4, EventA5, EventB1} {
+			strict := EventConfig{Type: ty, Threshold1: thr, Threshold2: thr, Offset: 2, Hysteresis: h2}
+			loose := EventConfig{Type: ty, Threshold1: thr, Threshold2: thr, Offset: 2, Hysteresis: h1}
+			if strict.Entering(serv, nb) && !loose.Entering(serv, nb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestMeasurementReportKey(t *testing.T) {
+	mr := MeasurementReport{Event: EventA3, Tech: TechLTE}
+	if mr.Key() != "A3" {
+		t.Errorf("LTE A3 key = %q", mr.Key())
+	}
+	mr.Tech = TechNR
+	if mr.Key() != "NR-A3" {
+		t.Errorf("NR A3 key = %q", mr.Key())
+	}
+	mr.Event = EventB1
+	if mr.Key() != "NR-B1" {
+		t.Errorf("NR B1 key = %q", mr.Key())
+	}
+}
+
+func TestHandoverEventDuration(t *testing.T) {
+	h := HandoverEvent{T1: 40 * time.Millisecond, T2: 90 * time.Millisecond}
+	if h.Duration() != 130*time.Millisecond {
+		t.Errorf("Duration = %v", h.Duration())
+	}
+}
+
+func TestSignalingCount(t *testing.T) {
+	a := SignalingCount{RRC: 3, MAC: 2, PHY: 10}
+	b := SignalingCount{RRC: 1, MAC: 1, PHY: 5}
+	sum := a.Add(b)
+	if sum.Total() != 22 {
+		t.Errorf("Total = %d", sum.Total())
+	}
+	if sum.RRC != 4 || sum.MAC != 3 || sum.PHY != 15 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+func TestCellGlobalID(t *testing.T) {
+	lte := Cell{PCI: 7, Tech: TechLTE}
+	nr := Cell{PCI: 7, Tech: TechNR}
+	if lte.GlobalID() == nr.GlobalID() {
+		t.Error("LTE and NR cells with the same PCI must have distinct global IDs")
+	}
+}
+
+func TestArchAndTechStrings(t *testing.T) {
+	if ArchLTE.String() != "LTE" || ArchNSA.String() != "NSA" || ArchSA.String() != "SA" {
+		t.Error("arch names")
+	}
+	if TechLTE.String() != "LTE" || TechNR.String() != "NR" {
+		t.Error("tech names")
+	}
+	if BandLow.String() != "Low-Band" || BandMMWave.String() != "mmWave" {
+		t.Error("band names")
+	}
+}

@@ -1,0 +1,296 @@
+// Package core implements Prognos, the paper's handover-prediction system
+// (§7): a two-stage pipeline that first forecasts the measurement reports a
+// UE will send (report predictor) and then matches them against online-
+// learned, carrier-specific handover decision patterns (decision learner) to
+// predict the next handover's type, timing, and throughput impact
+// (ho_score). It works from UE-observable signals only — RRS readings,
+// RRC-sniffed measurement reports and HO commands — with no carrier
+// cooperation.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/cellular"
+)
+
+// Pattern is one learned decision rule: a sequence of measurement-report
+// keys that repeatedly precedes a specific handover type (§7.2's "unique
+// sequence of MRs repeatedly triggering a specific type of HO").
+type Pattern struct {
+	// Seq is the MR-key sequence, oldest first (e.g. ["A2","A5"]).
+	Seq []string
+	// HO is the handover type the sequence triggers.
+	HO cellular.HOType
+	// Support counts how many phases matched this pattern.
+	Support int
+	// LastPhase is the phase counter value when the pattern was last seen,
+	// for freshness-based eviction.
+	LastPhase int
+	// Hits / Misses accumulate online prediction feedback: a hit when a
+	// prediction made from this pattern was followed by the predicted HO,
+	// a miss when it expired unfulfilled or the wrong HO arrived. This is
+	// the learner's self-applied sanity check (§7.1's "explainable system
+	// ... apply sanity checks during prediction process").
+	Hits   int
+	Misses int
+}
+
+// Reliability is the Laplace-smoothed empirical precision of predictions
+// from this pattern ((hits+1)/(trials+2); 0.5 before any feedback, pulled
+// toward the evidence as trials accumulate).
+func (p Pattern) Reliability() float64 {
+	return float64(p.Hits+1) / float64(p.Hits+p.Misses+2)
+}
+
+// Key returns the canonical identity of the pattern.
+func (p Pattern) Key() string { return strings.Join(p.Seq, ",") + "->" + p.HO.String() }
+
+// String renders the pattern in the paper's notation, e.g.
+// "[A2,A5,LTEH] (support=12)".
+func (p Pattern) String() string {
+	return fmt.Sprintf("[%s,%s] (support=%d)", strings.Join(p.Seq, ","), p.HO, p.Support)
+}
+
+// LearnerConfig tunes the online decision learner.
+type LearnerConfig struct {
+	// FreshnessPhases evicts patterns not seen for this many phases
+	// (default 200).
+	FreshnessPhases int
+	// MaxPatterns caps the store; the stalest/least-supported patterns are
+	// evicted first (default 256).
+	MaxPatterns int
+	// MaxSuffixLen bounds the suffix patterns mined from each phase
+	// (default 4). Mining suffixes of the phase's MR sequence is the
+	// online adaptation of prefixSpan's projected-prefix growth: frequent
+	// short trigger sequences accumulate support even when phases carry
+	// extra interleaved reports.
+	MaxSuffixLen int
+}
+
+func (c LearnerConfig) withDefaults() LearnerConfig {
+	if c.FreshnessPhases == 0 {
+		c.FreshnessPhases = 200
+	}
+	if c.MaxPatterns == 0 {
+		c.MaxPatterns = 256
+	}
+	if c.MaxSuffixLen == 0 {
+		c.MaxSuffixLen = 4
+	}
+	return c
+}
+
+// DecisionLearner learns carrier handover logic online from the stream of
+// (MR sequence, HO command) phases.
+type DecisionLearner struct {
+	cfg      LearnerConfig
+	patterns map[string]*Pattern
+	phase    int
+	// learned/evicted count lifetime pattern churn (§7.3 reports these
+	// rates).
+	learned int
+	evicted int
+}
+
+// NewDecisionLearner creates a learner.
+func NewDecisionLearner(cfg LearnerConfig) *DecisionLearner {
+	return &DecisionLearner{cfg: cfg.withDefaults(), patterns: make(map[string]*Pattern)}
+}
+
+// ObservePhase consumes one completed phase: the MR keys observed since the
+// previous handover and the handover type that ended the phase. Every
+// suffix of the sequence (up to MaxSuffixLen) is credited, then stale
+// patterns are evicted.
+func (l *DecisionLearner) ObservePhase(keys []string, ho cellular.HOType) {
+	if ho == cellular.HONone || len(keys) == 0 {
+		return
+	}
+	l.phase++
+	// Gentle feedback decay: reliability reflects recent behaviour, so a
+	// pattern punished by early bad luck (or a temporary radio anomaly)
+	// can rehabilitate.
+	if l.phase%64 == 0 {
+		for _, p := range l.patterns {
+			p.Hits -= p.Hits / 4
+			p.Misses -= p.Misses / 4
+		}
+	}
+	maxLen := l.cfg.MaxSuffixLen
+	if maxLen > len(keys) {
+		maxLen = len(keys)
+	}
+	for n := 1; n <= maxLen; n++ {
+		seq := keys[len(keys)-n:]
+		key := strings.Join(seq, ",") + "->" + ho.String()
+		if p, ok := l.patterns[key]; ok {
+			p.Support++
+			p.LastPhase = l.phase
+		} else {
+			cp := make([]string, n)
+			copy(cp, seq)
+			l.patterns[key] = &Pattern{Seq: cp, HO: ho, Support: 1, LastPhase: l.phase}
+			l.learned++
+		}
+	}
+	l.evict()
+}
+
+// evict removes stale patterns and enforces the store cap.
+func (l *DecisionLearner) evict() {
+	for k, p := range l.patterns {
+		if l.phase-p.LastPhase > l.cfg.FreshnessPhases {
+			delete(l.patterns, k)
+			l.evicted++
+		}
+	}
+	if len(l.patterns) <= l.cfg.MaxPatterns {
+		return
+	}
+	ps := l.Patterns()
+	sort.Slice(ps, func(i, j int) bool {
+		// Evict lowest support first, then stalest.
+		if ps[i].Support != ps[j].Support {
+			return ps[i].Support < ps[j].Support
+		}
+		return ps[i].LastPhase < ps[j].LastPhase
+	})
+	for _, p := range ps[:len(ps)-l.cfg.MaxPatterns] {
+		delete(l.patterns, p.Key())
+		l.evicted++
+	}
+}
+
+// Bootstrap pre-loads patterns (e.g. the most frequent pattern per HO type
+// from a prior dataset), addressing the cold-start problem of §9/Fig. 15.
+func (l *DecisionLearner) Bootstrap(patterns []Pattern) {
+	for _, p := range patterns {
+		cp := p
+		cp.Seq = append([]string(nil), p.Seq...)
+		cp.LastPhase = l.phase
+		l.patterns[cp.Key()] = &cp
+	}
+}
+
+// Patterns returns a snapshot of the current store.
+func (l *DecisionLearner) Patterns() []Pattern {
+	out := make([]Pattern, 0, len(l.patterns))
+	for _, p := range l.patterns {
+		cp := *p
+		cp.Seq = append([]string(nil), p.Seq...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Stats reports lifetime learner churn: patterns learned, patterns evicted,
+// phases observed, and the live store size.
+func (l *DecisionLearner) Stats() (learned, evicted, phases, live int) {
+	return l.learned, l.evicted, l.phase, len(l.patterns)
+}
+
+// reliabilityFloor drops patterns whose online prediction precision has
+// fallen below this once enough feedback accumulated.
+const (
+	reliabilityFloor  = 0.35
+	reliabilityTrials = 4
+)
+
+// Match finds the learned pattern best explaining the given MR-key sequence
+// (observed + predicted). A pattern matches when it is an in-order
+// subsequence of seq *anchored at the newest evidence*: its final key must
+// be seq's final key, because a handover follows the completing report of
+// its trigger sequence, not an arbitrary earlier one. The similarity of a
+// match grows with support, sequence length, freshness and feedback
+// reliability (§7.2). The optional admit predicate applies the caller's
+// sanity checks (radio-state feasibility, reliability gating).
+func (l *DecisionLearner) Match(seq []string, admit func(Pattern) bool) (Pattern, float64, bool) {
+	if len(seq) == 0 {
+		return Pattern{}, 0, false
+	}
+	last := seq[len(seq)-1]
+	bestScore := -1.0
+	var bst *Pattern
+	for _, p := range l.patterns {
+		if p.Seq[len(p.Seq)-1] != last {
+			continue
+		}
+		if p.Hits+p.Misses >= reliabilityTrials && p.Reliability() < reliabilityFloor {
+			continue
+		}
+		if admit != nil && !admit(*p) {
+			continue
+		}
+		if !isSubsequence(p.Seq, seq) {
+			continue
+		}
+		score := l.similarity(p)
+		if score > bestScore {
+			bestScore = score
+			bst = p
+		}
+	}
+	if bst == nil {
+		return Pattern{}, 0, false
+	}
+	cp := *bst
+	cp.Seq = append([]string(nil), bst.Seq...)
+	return cp, bestScore, true
+}
+
+// Feedback records the outcome of a prediction made from the pattern with
+// the given key. Unknown keys (evicted since) are ignored.
+func (l *DecisionLearner) Feedback(key string, hit bool) {
+	p, ok := l.patterns[key]
+	if !ok {
+		return
+	}
+	if hit {
+		p.Hits++
+	} else {
+		p.Misses++
+	}
+}
+
+// similarity scores a pattern by support (log-damped), length, and
+// freshness.
+func (l *DecisionLearner) similarity(p *Pattern) float64 {
+	support := float64(p.Support)
+	length := float64(len(p.Seq))
+	fresh := 1.0
+	if l.cfg.FreshnessPhases > 0 {
+		age := float64(l.phase - p.LastPhase)
+		fresh = 1 - age/float64(l.cfg.FreshnessPhases+1)
+		if fresh < 0 {
+			fresh = 0
+		}
+	}
+	return ((1+math.Log1p(support))*0.6 + length*0.3 + fresh*0.4) * (0.5 + 0.5*p.Reliability())
+}
+
+// isSubsequence reports whether needle appears in order within haystack.
+func isSubsequence(needle, haystack []string) bool {
+	if len(needle) == 0 {
+		return false
+	}
+	hi := 0
+	for _, want := range needle {
+		found := false
+		for hi < len(haystack) {
+			if haystack[hi] == want {
+				found = true
+				hi++
+				break
+			}
+			hi++
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/ran"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// walkLog simulates a D2-style downtown walking loop for OpX NSA.
+func walkLog(t *testing.T, seed int64, laps int) *trace.Log {
+	t.Helper()
+	log, err := sim.Run(sim.Config{
+		Carrier:      topology.OpX(),
+		Arch:         cellular.ArchNSA,
+		RouteKind:    geo.RouteCityLoop,
+		RouteLengthM: 2500,
+		Laps:         laps,
+		SpeedMPS:     1.4,
+		BearerMode:   throughput.ModeSCG,
+		Seed:         seed,
+		TopoOpts:     topology.Options{CityDensity: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func newPrognos(t *testing.T, useReport bool) *core.Prognos {
+	t.Helper()
+	p, err := core.New(core.Config{
+		EventConfigs:       ran.EventConfigsFor("OpX", cellular.ArchNSA),
+		Arch:               cellular.ArchNSA,
+		UseReportPredictor: useReport,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func evalF1(t *testing.T, log *trace.Log, p *core.Prognos) (f1, precision, recall, acc float64) {
+	t.Helper()
+	ticks := core.Replay(p, log)
+	ev := core.EvaluateEvents(ticks, log.Handovers, time.Second)
+	return ev.F1(), ev.Precision(), ev.Recall(), ev.Accuracy()
+}
+
+func TestPrognosEndToEndF1(t *testing.T) {
+	log := walkLog(t, 3, 8)
+	if len(log.Handovers) < 30 {
+		t.Fatalf("walk produced only %d handovers; topology too sparse for the test", len(log.Handovers))
+	}
+	p := newPrognos(t, true)
+	f1, prec, rec, acc := evalF1(t, log, p)
+	t.Logf("Prognos on %d HOs / %v: F1=%.3f P=%.3f R=%.3f Acc=%.3f",
+		len(log.Handovers), log.Duration().Round(time.Second), f1, prec, rec, acc)
+	if f1 < 0.55 {
+		t.Errorf("Prognos F1 = %.3f; want >= 0.55 (paper reports 0.92-0.94 on real traces; the simulated walking loops carry heavier mmWave churn)", f1)
+	}
+}
+
+func TestPrognosLearnsPatterns(t *testing.T) {
+	log := walkLog(t, 5, 4)
+	p := newPrognos(t, true)
+	core.Replay(p, log)
+	learned, evicted, phases, live := p.Learner().Stats()
+	if live == 0 || learned == 0 {
+		t.Fatalf("no patterns learned (learned=%d evicted=%d phases=%d live=%d)", learned, evicted, phases, live)
+	}
+	if phases == 0 {
+		t.Fatal("no phases observed")
+	}
+	// Every live pattern must target a real HO type.
+	for _, pat := range p.Learner().Patterns() {
+		if pat.HO == cellular.HONone {
+			t.Errorf("pattern %v targets HONone", pat)
+		}
+		if pat.Support < 1 {
+			t.Errorf("pattern %v has support %d", pat, pat.Support)
+		}
+	}
+}
+
+func TestReportPredictorImprovesLeadTime(t *testing.T) {
+	log := walkLog(t, 7, 6)
+	with := core.Replay(newPrognos(t, true), log)
+	without := core.Replay(newPrognos(t, false), log)
+	lw := durations(core.LeadTime(with, log.Handovers))
+	lo := durations(core.LeadTime(without, log.Handovers))
+	if len(lw) == 0 || len(lo) == 0 {
+		t.Fatalf("no lead times measured (with=%d without=%d)", len(lw), len(lo))
+	}
+	mw, mo := stats.Median(lw), stats.Median(lo)
+	t.Logf("median lead: with report predictor %.0f ms, without %.0f ms (n=%d/%d)",
+		mw, mo, len(lw), len(lo))
+	if mw <= mo {
+		t.Errorf("report predictor should extend lead time: with=%.0f ms without=%.0f ms", mw, mo)
+	}
+}
+
+func TestBootstrapAcceleratesStartup(t *testing.T) {
+	// Learn patterns on one trace, bootstrap a fresh instance, and compare
+	// early F1 on a second trace (Fig. 15's mechanism).
+	train := walkLog(t, 11, 4)
+	teacher := newPrognos(t, true)
+	core.Replay(teacher, train)
+	patterns := teacher.Learner().Patterns()
+	if len(patterns) == 0 {
+		t.Fatal("teacher learned nothing")
+	}
+
+	// Per the paper, bootstrap with the most frequent pattern per HO type
+	// (not the whole store, which would import another area's noise).
+	best := map[cellular.HOType]core.Pattern{}
+	for _, p := range patterns {
+		if b, ok := best[p.HO]; !ok || p.Support > b.Support {
+			best[p.HO] = p
+		}
+	}
+	var frequent []core.Pattern
+	for _, p := range best {
+		frequent = append(frequent, p)
+	}
+
+	test := walkLog(t, 13, 2)
+	cold := newPrognos(t, true)
+	warm := newPrognos(t, true)
+	warm.Bootstrap(frequent)
+
+	early := func(p *core.Prognos) float64 {
+		ticks := core.Replay(p, test)
+		// Look only at the first 5 minutes.
+		cut := ticks[:0]
+		for _, tk := range ticks {
+			if tk.Time < 5*time.Minute {
+				cut = append(cut, tk)
+			}
+		}
+		var hos []cellular.HandoverEvent
+		for _, h := range test.Handovers {
+			if h.Time < 5*time.Minute {
+				hos = append(hos, h)
+			}
+		}
+		return core.EvaluateEvents(cut, hos, time.Second).F1()
+	}
+	fCold, fWarm := early(cold), early(warm)
+	t.Logf("early F1: cold=%.3f warm=%.3f", fCold, fWarm)
+	if fWarm < fCold-0.05 {
+		t.Errorf("bootstrapping must not hurt early F1: cold=%.3f warm=%.3f", fCold, fWarm)
+	}
+}
+
+func durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d.Milliseconds())
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+// signalTrack follows one RRS stream (e.g. "serving LTE RSRP"): a
+// triangular-kernel smoother to strip fast fading followed by a
+// linear-regression forecaster over the history window (§7.2's report
+// predictor internals).
+type signalTrack struct {
+	smoother *radio.TriangularSmoother
+	forecast *radio.LinearForecaster
+	valid    bool
+	last     float64
+}
+
+func newSignalTrack(smoothWin, histWin int) *signalTrack {
+	sm, err := radio.NewTriangularSmoother(smoothWin)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	fc, err := radio.NewLinearForecaster(histWin)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return &signalTrack{smoother: sm, forecast: fc}
+}
+
+// push feeds one sample (valid=false resets the track, e.g. after the UE
+// detaches from the measured cell).
+func (t *signalTrack) push(v float64, valid bool) {
+	if !valid {
+		t.valid = false
+		t.smoother.Reset()
+		t.forecast.Reset()
+		return
+	}
+	t.valid = true
+	sm := t.smoother.Push(v)
+	t.forecast.Push(sm)
+	t.last = sm
+}
+
+// at extrapolates k steps ahead (k=0 returns the smoothed current value).
+func (t *signalTrack) at(k int) (float64, bool) {
+	if !t.valid {
+		return 0, false
+	}
+	if k <= 0 {
+		return t.last, true
+	}
+	if !t.forecast.Ready() {
+		return t.last, true
+	}
+	return t.forecast.Forecast(k), true
+}
+
+// PredictedReport is a measurement report the report predictor expects the
+// UE to send within the prediction window.
+type PredictedReport struct {
+	Event cellular.EventType
+	Tech  cellular.Tech
+	// LeadSteps is how many sample steps ahead the trigger completes.
+	LeadSteps int
+	// Repeat marks a forecast periodic re-report of a standing condition.
+	Repeat bool
+}
+
+// Key returns the MR-key notation of the predicted report ("NR-A3" etc.).
+func (p PredictedReport) Key() string {
+	mr := cellular.MeasurementReport{Event: p.Event, Tech: p.Tech}
+	return mr.Key()
+}
+
+// ReportPredictor forecasts which measurement events will trigger within
+// the next prediction window, from the event configurations sniffed off the
+// RRC layer and the predicted RRS of serving and neighbour cells. It
+// emulates the UE's measurement engine on the smoothed signals: conditions
+// whose time-to-trigger is already running are forecast to complete, while
+// conditions that have held past TTT are assumed already reported.
+type ReportPredictor struct {
+	configs []cellular.EventConfig
+
+	servLTE  *signalTrack
+	neighLTE *signalTrack
+	servNR   *signalTrack
+	neighNR  *signalTrack
+
+	// heldSteps tracks, per config, how many consecutive samples the
+	// entering condition has held on the smoothed measurements.
+	heldSteps []int
+	// edgeActive tracks, per config, how long a rising-edge forecast has
+	// been continuously emitted. A forecast claiming an imminent trigger
+	// that fails to materialise within twice its own horizon is silenced
+	// until the condition forecast clears — otherwise a hovering trend
+	// keeps predicting a crossing that never comes.
+	edgeActive []int
+
+	// predictionSteps is the look-ahead horizon in samples.
+	predictionSteps int
+	stepDur         time.Duration
+}
+
+// forecastMarginDB makes rising-edge forecasts conservative: the predicted
+// signals must clear the trigger condition by this margin. Linear fits over
+// a short history pick up shadowing wiggles; without a margin they forecast
+// phantom crossings continuously at pedestrian speeds.
+const forecastMarginDB = 1.5
+
+// edgeDebounceTicks requires a rising-edge forecast to persist this many
+// consecutive prediction calls before it is emitted.
+const edgeDebounceTicks = 6
+
+// minClosingRateDBPerStep requires the signal geometry to approach the
+// trigger at a meaningful rate (≈0.16 dB/s at 20 Hz sampling — walking
+// through a 50 m-correlated shadow field moves signals by well under
+// 1 dB/s) before a rising edge is forecast; hovering trends otherwise
+// produce phantom crossings from fit noise.
+const minClosingRateDBPerStep = 0.008
+
+// approachSignificant reports whether the fitted slopes actually drive the
+// event's condition toward triggering.
+func approachSignificant(cfg cellular.EventConfig, servSlope, neighSlope float64) bool {
+	switch cfg.Type {
+	case cellular.EventA1:
+		return servSlope >= minClosingRateDBPerStep
+	case cellular.EventA2:
+		return -servSlope >= minClosingRateDBPerStep
+	case cellular.EventA3:
+		return neighSlope-servSlope >= minClosingRateDBPerStep
+	case cellular.EventA4, cellular.EventB1:
+		return neighSlope >= minClosingRateDBPerStep
+	case cellular.EventA5:
+		return -servSlope >= minClosingRateDBPerStep/2 || neighSlope >= minClosingRateDBPerStep/2
+	default:
+		return true
+	}
+}
+
+// NewReportPredictor creates a report predictor. smoothWin/histWin are in
+// samples (the paper uses 1 s windows at 20 Hz); predSteps is the
+// prediction window length in samples.
+func NewReportPredictor(configs []cellular.EventConfig, smoothWin, histWin, predSteps int, stepDur time.Duration) *ReportPredictor {
+	return &ReportPredictor{
+		configs:         configs,
+		servLTE:         newSignalTrack(smoothWin, histWin),
+		neighLTE:        newSignalTrack(smoothWin, histWin),
+		servNR:          newSignalTrack(smoothWin, histWin),
+		neighNR:         newSignalTrack(smoothWin, histWin),
+		heldSteps:       make([]int, len(configs)),
+		edgeActive:      make([]int, len(configs)),
+		predictionSteps: predSteps,
+		stepDur:         stepDur,
+	}
+}
+
+// SetConfigs replaces the sniffed event configurations (after an RRC
+// reconfiguration).
+func (r *ReportPredictor) SetConfigs(configs []cellular.EventConfig) {
+	r.configs = configs
+	r.heldSteps = make([]int, len(configs))
+	r.edgeActive = make([]int, len(configs))
+}
+
+// Observe feeds one 20 Hz cross-layer sample and advances the per-event
+// condition trackers.
+func (r *ReportPredictor) Observe(s trace.Sample) {
+	r.servLTE.push(s.ServingLTE.RSRP, s.ServingLTE.Valid)
+	r.neighLTE.push(s.NeighborLTE.RSRP, s.NeighborLTE.Valid)
+	r.servNR.push(s.ServingNR.RSRP, s.ServingNR.Valid)
+	r.neighNR.push(s.NeighborNR.RSRP, s.NeighborNR.Valid)
+	for i, cfg := range r.configs {
+		if r.enteringNow(cfg) {
+			r.heldSteps[i]++
+		} else {
+			r.heldSteps[i] = 0
+		}
+	}
+}
+
+// enteringNow evaluates an event's entering condition on the current
+// smoothed measurements.
+func (r *ReportPredictor) enteringNow(cfg cellular.EventConfig) bool {
+	serv, neigh := r.tracksFor(cfg)
+	sv, sok := serv.at(0)
+	if !sok {
+		return false
+	}
+	nv, nok := neigh.at(0)
+	if !nok {
+		if cfg.Type != cellular.EventA1 && cfg.Type != cellular.EventA2 {
+			return false
+		}
+		nv = -200
+	}
+	return cfg.Entering(sv, nv)
+}
+
+// tracksFor returns the (serving, neighbour) tracks an event evaluates.
+func (r *ReportPredictor) tracksFor(cfg cellular.EventConfig) (*signalTrack, *signalTrack) {
+	if cfg.Type == cellular.EventB1 {
+		// Inter-RAT: LTE serving vs NR candidate (logged as the NR
+		// neighbour when no NR leg is attached).
+		return r.servLTE, r.neighNR
+	}
+	if cfg.Tech == cellular.TechNR {
+		return r.servNR, r.neighNR
+	}
+	return r.servLTE, r.neighLTE
+}
+
+// Predict forecasts the measurement reports expected within the prediction
+// window, ordered by lead time. Three per-event cases, mirroring the UE's
+// measurement engine on smoothed signals:
+//
+//  1. The condition has held past TTT — the report already fired and sits
+//     in the observed phase; nothing new to forecast.
+//  2. The condition is holding with TTT still running — the report is
+//     forecast to complete in (TTT − held) steps.
+//  3. The condition is off — a rising edge is searched in the forecast RRS,
+//     and the report is predicted when the edge plus TTT fit the horizon.
+func (r *ReportPredictor) Predict() []PredictedReport {
+	var out []PredictedReport
+	tttSteps := func(ttt time.Duration) int {
+		st := int(ttt / r.stepDur)
+		if st < 1 {
+			st = 1
+		}
+		return st
+	}
+	for i, cfg := range r.configs {
+		serv, neigh := r.tracksFor(cfg)
+		needNeigh := cfg.Type != cellular.EventA1 && cfg.Type != cellular.EventA2
+		if !serv.valid && cfg.Type != cellular.EventB1 {
+			continue
+		}
+		need := tttSteps(cfg.TTT)
+		if r.enteringNow(cfg) {
+			r.edgeActive[i] = 0
+			if r.heldSteps[i] >= need {
+				// Case 1: already reported. If the event re-reports
+				// periodically and the condition persists, the repeat is
+				// forecast at roughly the report interval.
+				if cfg.ReportInterval > 0 {
+					lead := int(cfg.ReportInterval/r.stepDur) / 2
+					if lead < 1 {
+						lead = 1
+					}
+					out = append(out, PredictedReport{Event: cfg.Type, Tech: cfg.Tech, LeadSteps: lead, Repeat: true})
+				}
+				continue
+			}
+			// Case 2: TTT in progress. A couple of samples must confirm the
+			// condition before the completion is forecast.
+			if r.heldSteps[i] >= 2 {
+				out = append(out, PredictedReport{Event: cfg.Type, Tech: cfg.Tech, LeadSteps: need - r.heldSteps[i]})
+			}
+			continue
+		}
+		// Case 3: rising-edge search on the forecast signals; the trigger
+		// may complete up to one TTT beyond the window. The approach rate
+		// must be significant.
+		if !approachSignificant(cfg, serv.forecast.Slope(), neigh.forecast.Slope()) {
+			r.edgeActive[i] = 0
+			continue
+		}
+		fired := false
+		held := 0
+		for k := 1; k <= r.predictionSteps+need; k++ {
+			sv, sok := serv.at(k)
+			nv, nok := neigh.at(k)
+			if !sok {
+				break
+			}
+			if needNeigh && !nok {
+				held = 0
+				continue
+			}
+			if !nok {
+				nv = -200
+			}
+			if !cfg.Entering(sv+forecastMarginDB, nv-forecastMarginDB) {
+				held = 0
+				continue
+			}
+			held++
+			if held >= need {
+				fired = true
+				r.edgeActive[i]++
+				// Debounce flickering edges; silence edges that have failed
+				// to materialise within twice the horizon.
+				if r.edgeActive[i] >= edgeDebounceTicks && r.edgeActive[i] <= 2*r.predictionSteps {
+					out = append(out, PredictedReport{Event: cfg.Type, Tech: cfg.Tech, LeadSteps: k})
+				}
+				break
+			}
+		}
+		if !fired {
+			r.edgeActive[i] = 0
+		}
+	}
+	// Order by when the trigger completes.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].LeadSteps < out[j-1].LeadSteps; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/cellular"
+
+// ScoreTable maps a predicted handover type to its ho_score: the expected
+// multiplicative change in network capacity once the procedure completes
+// (§7.2: "ho_score ∈ (0,∞) ... e.g. 0.4 indicates 60% degradation, 1
+// indicates no HO or no degradation").
+//
+// The default values are the median post-HO/pre-HO throughput ratios of the
+// paper's Fig. 16 (mmWave NSA bulk downloads), reproduced by the Fig. 16
+// experiment in this repository:
+//
+//	SCGA  ≈ ×17  (4G→5G adds the high-rate leg; capped for ABR stability)
+//	SCGR  ≈ ÷7   (5G→4G)
+//	SCGM  ≈ +43% (intra-gNB move lands on a better beam/cell)
+//	SCGC  ≈ −14% (inter-gNB via 4G often fails to improve signal, §6.2)
+//	MNBH/LTEH ≈ −4% (anchor changes barely move the 5G data plane)
+type ScoreTable map[cellular.HOType]float64
+
+// DefaultScores returns the Fig. 16-derived score table. SCGA's raw ×17 is
+// capped at ×4: rate adaptation reacts to the capacity step in the next
+// chunk anyway, and an uncapped multiplier overshoots the first decision.
+func DefaultScores() ScoreTable {
+	return ScoreTable{
+		cellular.HONone: 1.0,
+		cellular.HOSCGA: 4.0,
+		cellular.HOSCGR: 1.0 / 7.0,
+		cellular.HOSCGM: 1.43,
+		cellular.HOSCGC: 0.86,
+		cellular.HOMNBH: 0.96,
+		cellular.HOLTEH: 0.96,
+		cellular.HOMCGH: 1.0,
+	}
+}
+
+// Score returns the ho_score for a handover type, defaulting to 1 (no
+// expected change) for unknown types.
+func (t ScoreTable) Score(ho cellular.HOType) float64 {
+	if s, ok := t[ho]; ok {
+		return s
+	}
+	return 1.0
+}

@@ -1,0 +1,233 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrate: each experiment function runs
+// the required drives, applies the same analysis the authors applied to
+// their XCAL logs, and returns a rendered table of the rows/series the
+// paper reports. The cmd/vivisect binary and the repository's benchmark
+// harness both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/emu"
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes
+// comparing against the paper's reported numbers.
+type Table struct {
+	ID     string // experiment id, e.g. "fig8"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned plain text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes experiment scale; the defaults favour a few minutes of
+// total runtime while keeping every statistic stable.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Scale multiplies drive lengths/lap counts (default 1.0). The
+	// benchmark harness uses smaller scales for per-iteration timing.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaleInt applies the scale factor with a floor of 1.
+func (o Options) scaleInt(n int) int {
+	v := int(float64(n) * o.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// scaleIntAtLeast scales but never below lo (some analyses need a minimum
+// number of laps to observe rare events).
+func (o Options) scaleIntAtLeast(n, lo int) int {
+	v := o.scaleInt(n)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+func (o Options) scaleLen(m float64) float64 {
+	v := m * o.Scale
+	if v < 2000 {
+		v = 2000
+	}
+	return v
+}
+
+// freewayDrive runs a freeway simulation with common defaults.
+func freewayDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM float64, seed int64, skipMMW bool) (*trace.Log, error) {
+	return sim.Run(sim.Config{
+		Carrier:      carrier,
+		Arch:         arch,
+		RouteKind:    geo.RouteFreeway,
+		RouteLengthM: lengthM,
+		SpeedMPS:     29,
+		Seed:         seed,
+		TopoOpts:     topology.Options{SkipMMWave: skipMMW},
+	})
+}
+
+// cityDrive runs a city-loop simulation (driving speed).
+func cityDrive(carrier topology.CarrierProfile, arch cellular.Arch, mode throughput.BearerMode, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
+	return sim.Run(sim.Config{
+		Carrier:      carrier,
+		Arch:         arch,
+		RouteKind:    geo.RouteCityLoop,
+		RouteLengthM: perimeterM,
+		Laps:         laps,
+		SpeedMPS:     8.3,
+		BearerMode:   mode,
+		Seed:         seed,
+		TopoOpts:     topology.Options{CityDensity: 0.7},
+	})
+}
+
+// walkLoop runs a walking-loop simulation (the D1/D2 collection mode).
+func walkLoop(carrier topology.CarrierProfile, arch cellular.Arch, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
+	return sim.Run(sim.Config{
+		Carrier:      carrier,
+		Arch:         arch,
+		RouteKind:    geo.RouteCityLoop,
+		RouteLengthM: perimeterM,
+		Laps:         laps,
+		SpeedMPS:     1.4,
+		BearerMode:   throughput.ModeSCG,
+		Seed:         seed,
+		TopoOpts:     topology.Options{CityDensity: 0.7},
+	})
+}
+
+// bandwidthTrace converts a log segment's throughput series into an
+// emulator trace at 100 ms granularity.
+func bandwidthTrace(log *trace.Log, from, to time.Duration) (*emu.BandwidthTrace, error) {
+	const interval = 100 * time.Millisecond
+	var mbps []float64
+	var acc float64
+	var n int
+	next := from + interval
+	for _, s := range log.Samples {
+		if s.Time < from {
+			continue
+		}
+		if s.Time >= to {
+			break
+		}
+		for s.Time >= next {
+			if n > 0 {
+				mbps = append(mbps, acc/float64(n))
+			} else if len(mbps) > 0 {
+				mbps = append(mbps, mbps[len(mbps)-1])
+			} else {
+				mbps = append(mbps, 0)
+			}
+			acc, n = 0, 0
+			next += interval
+		}
+		acc += s.TputMbps
+		n++
+	}
+	if n > 0 {
+		mbps = append(mbps, acc/float64(n))
+	}
+	return emu.NewBandwidthTrace(mbps, interval)
+}
+
+// simDrive is the fully-parameterised freeway drive used by the energy and
+// dataset experiments.
+func simDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM, speedMPS float64, skipMMW bool, density float64, seed int64) (*trace.Log, error) {
+	return sim.Run(sim.Config{
+		Carrier:      carrier,
+		Arch:         arch,
+		RouteKind:    geo.RouteFreeway,
+		RouteLengthM: lengthM,
+		SpeedMPS:     speedMPS,
+		Seed:         seed,
+		TopoOpts:     topology.Options{SkipMMWave: skipMMW, CityDensity: density},
+	})
+}
+
+// saCarrier returns OpY restricted to low-band NR: the paper's SA service
+// runs on n71 ("SA (over Low-Band)", Fig. 9).
+func saCarrier() topology.CarrierProfile {
+	c := topology.OpY()
+	var nr []topology.Layer
+	for _, l := range c.NRLayers {
+		if l.Band == cellular.BandLow {
+			nr = append(nr, l)
+		}
+	}
+	c.NRLayers = nr
+	return c
+}
+
+// newRNG returns a seeded PRNG for experiment-local sampling.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// fmtF renders a float with the given precision.
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// fmtX renders a ratio as "2.26x".
+func fmtX(v float64) string { return fmt.Sprintf("%.2fx", v) }

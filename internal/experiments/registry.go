@@ -1,0 +1,46 @@
+package experiments
+
+import "fmt"
+
+// Spec names one runnable experiment.
+type Spec struct {
+	ID    string
+	Paper string // the table/figure it regenerates
+	Run   func(Options) (Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Spec {
+	return []Spec{
+		{ID: "table1", Paper: "Table 1", Run: Table1},
+		{ID: "fig4", Paper: "Figure 4", Run: Fig4},
+		{ID: "fig5", Paper: "Figure 5", Run: Fig5},
+		{ID: "fig6", Paper: "Figure 6", Run: Fig6},
+		{ID: "fig7", Paper: "Figure 7", Run: Fig7},
+		{ID: "freq", Paper: "Section 5.1", Run: HOFrequency},
+		{ID: "fig8", Paper: "Figure 8", Run: Fig8},
+		{ID: "fig9", Paper: "Figure 9", Run: Fig9},
+		{ID: "fig10", Paper: "Figure 10", Run: Fig10},
+		{ID: "fig11", Paper: "Figure 11", Run: Fig11},
+		{ID: "fig12", Paper: "Figure 12", Run: Fig12},
+		{ID: "fig13", Paper: "Figure 13", Run: Fig13},
+		{ID: "table3", Paper: "Table 3", Run: Table3},
+		{ID: "fig14", Paper: "Figure 14a/b", Run: Fig14},
+		{ID: "fig14c", Paper: "Figure 14c", Run: Fig14c},
+		{ID: "fig15", Paper: "Figure 15", Run: Fig15},
+		{ID: "fig16", Paper: "Figure 16", Run: Fig16},
+		{ID: "fig18", Paper: "Figure 18", Run: Fig18},
+		{ID: "ext-bearer", Paper: "§4.2 proposal (extension)", Run: ExtBearer},
+		{ID: "ext-coloc", Paper: "§6.3 heuristic validation (extension)", Run: ExtColocation},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

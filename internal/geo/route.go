@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RouteKind selects the synthetic route generator used for a drive.
+type RouteKind int
+
+// Route kinds mirror the two collection environments in the paper: long,
+// gently-curving freeway legs and dense grid-like city loops.
+const (
+	// RouteFreeway is a long, mostly-straight route with gentle curves,
+	// matching the paper's inter-state legs.
+	RouteFreeway RouteKind = iota
+	// RouteCityLoop is a closed rectangular downtown loop with small jitter,
+	// matching the paper's city and walking-loop datasets (D1/D2).
+	RouteCityLoop
+)
+
+// String returns the route kind name.
+func (k RouteKind) String() string {
+	switch k {
+	case RouteFreeway:
+		return "freeway"
+	case RouteCityLoop:
+		return "city-loop"
+	default:
+		return fmt.Sprintf("RouteKind(%d)", int(k))
+	}
+}
+
+// GenFreeway generates a freeway route of approximately length metres. The
+// route heads east with smooth random heading drift, producing the gentle
+// curvature of an inter-state drive. rng must be non-nil.
+func GenFreeway(rng *rand.Rand, length float64) *Polyline {
+	if length < 1000 {
+		length = 1000
+	}
+	const seg = 500.0 // metres between waypoints
+	n := int(length/seg) + 1
+	pts := make([]Point, 0, n+1)
+	pos := Point{}
+	heading := 0.0 // radians, 0 = east
+	pts = append(pts, pos)
+	for travelled := 0.0; travelled < length; travelled += seg {
+		// Smooth drift: bounded random walk on heading.
+		heading += (rng.Float64() - 0.5) * 0.15
+		if heading > 0.5 {
+			heading = 0.5
+		}
+		if heading < -0.5 {
+			heading = -0.5
+		}
+		pos = pos.Add(Point{seg * math.Cos(heading), seg * math.Sin(heading)})
+		pts = append(pts, pos)
+	}
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		panic("geo: internal error building freeway route: " + err.Error())
+	}
+	return pl
+}
+
+// GenCityLoop generates a closed rectangular loop with the given perimeter
+// (metres) and small per-vertex jitter, approximating a downtown walking or
+// driving loop. rng must be non-nil.
+func GenCityLoop(rng *rand.Rand, perimeter float64) *Polyline {
+	if perimeter < 400 {
+		perimeter = 400
+	}
+	w := perimeter * 0.3   // width
+	h := perimeter*0.5 - w // height so that 2(w+h) == perimeter
+	if h < 50 {
+		h = 50
+	}
+	const seg = 50.0
+	jitter := func() float64 { return (rng.Float64() - 0.5) * 8 }
+	var pts []Point
+	appendEdge := func(from, to Point) {
+		d := to.Sub(from)
+		n := int(d.Norm()/seg) + 1
+		for i := 0; i < n; i++ {
+			t := float64(i) / float64(n)
+			p := Lerp(from, to, t)
+			pts = append(pts, Point{p.X + jitter(), p.Y + jitter()})
+		}
+	}
+	c := []Point{{0, 0}, {w, 0}, {w, h}, {0, h}}
+	appendEdge(c[0], c[1])
+	appendEdge(c[1], c[2])
+	appendEdge(c[2], c[3])
+	appendEdge(c[3], c[0])
+	pts = append(pts, pts[0]) // close the loop exactly
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		panic("geo: internal error building city loop: " + err.Error())
+	}
+	return pl
+}
+
+// Generate builds a route of the given kind and length (metres; perimeter
+// for loops).
+func Generate(kind RouteKind, rng *rand.Rand, length float64) *Polyline {
+	switch kind {
+	case RouteCityLoop:
+		return GenCityLoop(rng, length)
+	default:
+		return GenFreeway(rng, length)
+	}
+}

@@ -1,0 +1,113 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearForecaster predicts future signal strength by ordinary least squares
+// over a sliding history window, exactly the "light-weight linear regression
+// model" Prognos' report predictor uses to forecast the serving and
+// neighbour RRS in the next prediction window (§7.2).
+//
+// Samples are pushed at a fixed rate; Forecast(k) extrapolates k steps ahead
+// of the most recent sample.
+type LinearForecaster struct {
+	window int
+	buf    []float64
+	head   int
+	filled int
+}
+
+// NewLinearForecaster creates a forecaster with the given history window
+// (number of samples). Window must be at least 2 so a slope is defined.
+func NewLinearForecaster(window int) (*LinearForecaster, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("radio: forecaster window must be >= 2, got %d", window)
+	}
+	return &LinearForecaster{window: window, buf: make([]float64, window)}, nil
+}
+
+// Push appends one sample to the history window.
+func (f *LinearForecaster) Push(v float64) {
+	f.buf[f.head] = v
+	f.head = (f.head + 1) % f.window
+	if f.filled < f.window {
+		f.filled++
+	}
+}
+
+// Ready reports whether enough history has accumulated to fit a slope.
+func (f *LinearForecaster) Ready() bool { return f.filled >= 2 }
+
+// fit returns intercept a and slope b of the least-squares line through the
+// history, with x = 0 at the oldest retained sample.
+func (f *LinearForecaster) fit() (a, b float64) {
+	n := float64(f.filled)
+	start := f.head - f.filled
+	if start < 0 {
+		start += f.window
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < f.filled; i++ {
+		x := float64(i)
+		y := f.buf[(start+i)%f.window]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// Forecast extrapolates k steps beyond the newest sample (k >= 1). With
+// fewer than 2 samples it returns the last sample, or 0 with none.
+func (f *LinearForecaster) Forecast(k int) float64 {
+	if f.filled == 0 {
+		return 0
+	}
+	if f.filled == 1 {
+		idx := f.head - 1
+		if idx < 0 {
+			idx += f.window
+		}
+		return f.buf[idx]
+	}
+	a, b := f.fit()
+	x := float64(f.filled-1) + float64(k)
+	return a + b*x
+}
+
+// Slope returns the fitted slope per step (0 until Ready).
+func (f *LinearForecaster) Slope() float64 {
+	if f.filled < 2 {
+		return 0
+	}
+	_, b := f.fit()
+	return b
+}
+
+// Reset clears the history window.
+func (f *LinearForecaster) Reset() {
+	f.head = 0
+	f.filled = 0
+}
+
+// MAE computes the mean absolute error between two equal-length series; it
+// is used by tests and the Fig. 14b throughput-prediction analysis.
+func MAE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - actual[i])
+	}
+	return sum / float64(len(pred))
+}

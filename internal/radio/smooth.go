@@ -1,0 +1,77 @@
+package radio
+
+import "fmt"
+
+// TriangularSmoother implements the triangular-kernel signal smoothing of
+// Long & Sikdar ("A Real-Time Algorithm for Long Range Signal Strength
+// Prediction in Wireless Networks"), which Prognos' report predictor uses to
+// eliminate variations caused by small-scale fading and measurement noise
+// (§7.2).
+//
+// The smoother maintains a ring of the last W samples and returns the
+// triangular-weighted mean, with weights rising linearly toward the most
+// recent sample: w_i = i+1 for i = 0..W-1 (oldest to newest).
+type TriangularSmoother struct {
+	window  int
+	buf     []float64
+	head    int
+	filled  int
+	weights []float64
+	wsum    float64
+}
+
+// NewTriangularSmoother creates a smoother over the given window length.
+// Window must be at least 1.
+func NewTriangularSmoother(window int) (*TriangularSmoother, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("radio: smoother window must be >= 1, got %d", window)
+	}
+	w := make([]float64, window)
+	sum := 0.0
+	for i := range w {
+		w[i] = float64(i + 1)
+		sum += w[i]
+	}
+	return &TriangularSmoother{window: window, buf: make([]float64, window), weights: w, wsum: sum}, nil
+}
+
+// Push adds a sample and returns the current smoothed value. Until the
+// window fills, the weighted mean over the available samples is returned.
+func (s *TriangularSmoother) Push(v float64) float64 {
+	s.buf[s.head] = v
+	s.head = (s.head + 1) % s.window
+	if s.filled < s.window {
+		s.filled++
+	}
+	return s.Value()
+}
+
+// Value returns the smoothed value over the samples seen so far. With no
+// samples it returns 0.
+func (s *TriangularSmoother) Value() float64 {
+	if s.filled == 0 {
+		return 0
+	}
+	// Oldest sample index in the ring.
+	start := s.head - s.filled
+	if start < 0 {
+		start += s.window
+	}
+	num, den := 0.0, 0.0
+	for i := 0; i < s.filled; i++ {
+		idx := (start + i) % s.window
+		w := float64(i + 1)
+		num += w * s.buf[idx]
+		den += w
+	}
+	return num / den
+}
+
+// Reset clears the smoother state.
+func (s *TriangularSmoother) Reset() {
+	s.head = 0
+	s.filled = 0
+}
+
+// Window returns the configured window length.
+func (s *TriangularSmoother) Window() int { return s.window }

@@ -1,0 +1,259 @@
+// Package ran implements the network side of mobility management: the
+// carrier-specific "black-box" handover decision logic (an MR-sequence →
+// HO-type policy, §7.1), the handover procedure with its preparation (T1)
+// and execution (T2) stages (§5.2, Fig. 1), and per-layer signalling
+// accounting (§5.1).
+package ran
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cellular"
+)
+
+// Guard constrains when a policy rule may fire, capturing decision context
+// a bare MR sequence cannot express (e.g. SCGM vs SCGC both follow NR-A3,
+// distinguished by whether the target NR cell is on the serving gNB).
+type Guard int
+
+// Rule guards.
+const (
+	// GuardNone: rule fires whenever its MR sequence matches.
+	GuardNone Guard = iota
+	// GuardSameGNB: target NR cell is hosted by the serving gNB (tower).
+	GuardSameGNB
+	// GuardDiffGNB: target NR cell is hosted by a different gNB.
+	GuardDiffGNB
+	// GuardNRAttached: the UE currently has a 5G leg.
+	GuardNRAttached
+	// GuardNoNRLeg: the UE currently has no 5G leg.
+	GuardNoNRLeg
+)
+
+// String names the guard.
+func (g Guard) String() string {
+	switch g {
+	case GuardNone:
+		return "none"
+	case GuardSameGNB:
+		return "same-gnb"
+	case GuardDiffGNB:
+		return "diff-gnb"
+	case GuardNRAttached:
+		return "nr-attached"
+	case GuardNoNRLeg:
+		return "no-nr-leg"
+	default:
+		return fmt.Sprintf("Guard(%d)", int(g))
+	}
+}
+
+// Rule maps a suffix of the recent MR-key sequence to a handover decision.
+type Rule struct {
+	// Sequence is the MR-key suffix that triggers the rule, oldest first,
+	// e.g. ["A2", "A5"]. Keys follow cellular.MeasurementReport.Key
+	// ("A3", "NR-B1", ...).
+	Sequence []string
+	Guard    Guard
+	HO       cellular.HOType
+}
+
+// String renders the rule in the paper's pattern notation, e.g.
+// "[A2,A5] -> LTEH".
+func (r Rule) String() string {
+	return fmt.Sprintf("[%s] -> %s", strings.Join(r.Sequence, ","), r.HO)
+}
+
+// Context carries the decision-time facts a guard may consult.
+type Context struct {
+	Arch       cellular.Arch
+	NRAttached bool
+	// TargetSameGNB reports whether the best NR neighbour is hosted by the
+	// serving gNB (only meaningful for NR-A3 decisions).
+	TargetSameGNB bool
+}
+
+// admits reports whether the guard allows the rule in this context.
+func (g Guard) admits(ctx Context) bool {
+	switch g {
+	case GuardSameGNB:
+		return ctx.TargetSameGNB
+	case GuardDiffGNB:
+		return !ctx.TargetSameGNB
+	case GuardNRAttached:
+		return ctx.NRAttached
+	case GuardNoNRLeg:
+		return !ctx.NRAttached
+	default:
+		return true
+	}
+}
+
+// Policy is one carrier's handover decision logic for one architecture.
+// Rules are checked in order; the first whose sequence suffix-matches the
+// recent MR history and whose guard admits the context wins.
+type Policy struct {
+	Name  string
+	Rules []Rule
+}
+
+// Decide matches the recent MR-key history (oldest first) against the
+// policy. It returns the decided HO type and the matched rule, or HONone.
+//
+// A rule matches when its final event is the newest report and its earlier
+// events appear, in order, somewhere in the current phase's history. This
+// anchored-subsequence semantics is robust to interleaved reports from
+// other configured events — the network reacts to the report it just
+// received, in the context of what preceded it.
+func (p *Policy) Decide(history []string, ctx Context) (cellular.HOType, *Rule) {
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if !r.Guard.admits(ctx) {
+			continue
+		}
+		if anchoredSubseq(history, r.Sequence) {
+			return r.HO, r
+		}
+	}
+	return cellular.HONone, nil
+}
+
+// anchoredSubseq reports whether seq's last element equals the newest
+// history entry and the remaining prefix is an in-order subsequence of the
+// earlier history.
+func anchoredSubseq(history, seq []string) bool {
+	if len(seq) == 0 || len(history) == 0 {
+		return false
+	}
+	if history[len(history)-1] != seq[len(seq)-1] {
+		return false
+	}
+	prefix := seq[:len(seq)-1]
+	hi := 0
+	rest := history[:len(history)-1]
+	for _, want := range prefix {
+		found := false
+		for hi < len(rest) {
+			if rest[hi] == want {
+				found = true
+				hi++
+				break
+			}
+			hi++
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// PolicyFor returns the (synthetic) carrier policy for an architecture.
+// The three carriers use deliberately different LTE-side sequences so the
+// decision learner faces genuinely distinct per-carrier patterns, as the
+// paper observed (§7.1: "the policy-based HO logic is unique for each HO
+// type").
+func PolicyFor(carrier string, arch cellular.Arch) *Policy {
+	lteSeq := map[string][]string{
+		"OpX": {"A2", "A3"},
+		"OpY": {"A3"},
+		"OpZ": {"A2", "A5"},
+	}[carrier]
+	if lteSeq == nil {
+		lteSeq = []string{"A3"}
+	}
+	switch arch {
+	case cellular.ArchSA:
+		return &Policy{
+			Name: carrier + "/SA",
+			Rules: []Rule{
+				{Sequence: []string{"NR-A3"}, Guard: GuardNone, HO: cellular.HOMCGH},
+			},
+		}
+	case cellular.ArchNSA:
+		return &Policy{
+			Name: carrier + "/NSA",
+			Rules: []Rule{
+				// NR leg management. An SCG release needs two consecutive
+				// NR-A2 reports; if a B1 for another NR cell lands between
+				// them the network converts the release into an SCG Change
+				// (the paper's Fig. 16 trigger annotations: SCGC = NR-A2 +
+				// NR-B1, SCGR = NR-A2).
+				{Sequence: []string{"NR-B1"}, Guard: GuardNoNRLeg, HO: cellular.HOSCGA},
+				{Sequence: []string{"NR-A2", "NR-B1"}, Guard: GuardNRAttached, HO: cellular.HOSCGC},
+				{Sequence: []string{"NR-A2", "NR-A2"}, Guard: GuardNRAttached, HO: cellular.HOSCGR},
+				{Sequence: []string{"NR-A3"}, Guard: GuardSameGNB, HO: cellular.HOSCGM},
+				{Sequence: []string{"NR-A3"}, Guard: GuardDiffGNB, HO: cellular.HOSCGC},
+				// LTE anchor mobility.
+				{Sequence: lteSeq, Guard: GuardNRAttached, HO: cellular.HOMNBH},
+				{Sequence: lteSeq, Guard: GuardNoNRLeg, HO: cellular.HOLTEH},
+			},
+		}
+	default:
+		return &Policy{
+			Name: carrier + "/LTE",
+			Rules: []Rule{
+				{Sequence: lteSeq, Guard: GuardNone, HO: cellular.HOLTEH},
+			},
+		}
+	}
+}
+
+// EventConfigsFor returns the measurement configurations a serving cell
+// pushes to the UE under the given carrier/architecture (step 1 of Fig. 1).
+// Carriers configure only the events their policies consume, which is why
+// the phase patterns a decision learner observes differ per carrier (§7.1).
+// Threshold values are representative of commercial configurations reported
+// in prior measurement work.
+func EventConfigsFor(carrier string, arch cellular.Arch) []cellular.EventConfig {
+	const (
+		ttt    = 320 * time.Millisecond
+		tttB1  = 480 * time.Millisecond
+		hyst   = 2.0
+		period = 480 * time.Millisecond
+		a2LTE  = -100.0
+		a2NR   = -112.0
+		b1NR   = -106.0
+		a5Phi1 = -101.0
+		a5Phi2 = -99.0
+	)
+	var lte []cellular.EventConfig
+	switch carrier {
+	case "OpY":
+		lte = []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+		}
+	case "OpZ":
+		lte = []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA5, Tech: cellular.TechLTE, Threshold1: a5Phi1, Threshold2: a5Phi2, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+		}
+	default: // OpX and unknown carriers
+		lte = []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+		}
+	}
+	nrDC := []cellular.EventConfig{
+		{Type: cellular.EventB1, Tech: cellular.TechNR, Threshold1: b1NR, Hysteresis: hyst, TTT: tttB1, ReportInterval: period, ReportAmount: 6},
+		{Type: cellular.EventA2, Tech: cellular.TechNR, Threshold1: a2NR, Hysteresis: hyst, TTT: ttt, ReportInterval: 320 * time.Millisecond, ReportAmount: 6},
+		{Type: cellular.EventA3, Tech: cellular.TechNR, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+	}
+	switch arch {
+	case cellular.ArchSA:
+		// SA deployments are configured conservatively (larger offset and
+		// TTT): the paper finds SA handovers markedly less frequent than
+		// LTE/NSA (§5.1).
+		return []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechNR, Threshold1: a2NR, Hysteresis: hyst, TTT: 480 * time.Millisecond, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA3, Tech: cellular.TechNR, Offset: 5.0, Hysteresis: hyst, TTT: 480 * time.Millisecond, ReportInterval: period, ReportAmount: 8},
+		}
+	case cellular.ArchNSA:
+		return append(append([]cellular.EventConfig{}, lte...), nrDC...)
+	default:
+		return lte
+	}
+}

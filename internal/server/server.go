@@ -1,0 +1,240 @@
+// Package server implements the Prognos network service: a line-oriented
+// TCP protocol through which a UE-side agent streams its cross-layer
+// observations (radio samples, sniffed measurement reports and handover
+// commands, in the trace package's JSONL record format) and receives a
+// handover prediction for every radio sample. This is the deployment shape
+// the paper sketches for Prognos-assisted applications: a local daemon the
+// application queries for ho_score.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/ran"
+	"repro/internal/trace"
+)
+
+// Hello is the first line a client sends: the deployment context the
+// Prognos instance needs.
+type Hello struct {
+	Carrier string        `json:"carrier"`
+	Arch    cellular.Arch `json:"arch"`
+	// UseReportPredictor enables the early-warning stage (default true).
+	DisableReportPredictor bool `json:"disable_report_predictor,omitempty"`
+}
+
+// Record is one streamed observation; exactly one payload field is set.
+type Record struct {
+	Sample *trace.Sample               `json:"sample,omitempty"`
+	Report *cellular.MeasurementReport `json:"report,omitempty"`
+	HO     *cellular.HandoverEvent     `json:"ho,omitempty"`
+}
+
+// Response is the per-sample prediction sent back to the client.
+type Response struct {
+	Time       time.Duration   `json:"t"`
+	Type       cellular.HOType `json:"type"`
+	TypeName   string          `json:"type_name"`
+	Score      float64         `json:"score"`
+	Similarity float64         `json:"similarity"`
+	LeadMS     int64           `json:"lead_ms"`
+}
+
+// Server accepts Prognos prediction sessions.
+type Server struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:7015"; port 0 picks a
+// free port).
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes every active session.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			_ = s.serve(conn)
+		}()
+	}
+}
+
+// serve runs one session: hello, then records in, predictions out.
+func (s *Server) serve(conn net.Conn) error {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+
+	if !sc.Scan() {
+		return errors.New("server: no hello")
+	}
+	var hello Hello
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
+		return fmt.Errorf("server: bad hello: %w", err)
+	}
+	prog, err := core.New(core.Config{
+		EventConfigs:       ran.EventConfigsFor(hello.Carrier, hello.Arch),
+		Arch:               hello.Arch,
+		UseReportPredictor: !hello.DisableReportPredictor,
+	})
+	if err != nil {
+		return err
+	}
+
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("server: bad record: %w", err)
+		}
+		switch {
+		case rec.Report != nil:
+			prog.OnReport(*rec.Report)
+		case rec.HO != nil:
+			prog.OnHandover(*rec.HO)
+		case rec.Sample != nil:
+			prog.OnSample(*rec.Sample)
+			pred := prog.Predict()
+			resp := Response{
+				Time:       rec.Sample.Time,
+				Type:       pred.Type,
+				TypeName:   pred.Type.String(),
+				Score:      pred.Score,
+				Similarity: pred.Similarity,
+				LeadMS:     pred.Lead.Milliseconds(),
+			}
+			if err := enc.Encode(resp); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// Client is a convenience wrapper for talking to a Prognos server.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	w    *bufio.Writer
+	enc  *json.Encoder
+}
+
+// Dial connects and sends the hello.
+func Dial(addr string, hello Hello) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn: conn,
+		sc:   bufio.NewScanner(conn),
+		w:    bufio.NewWriter(conn),
+	}
+	c.sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	c.enc = json.NewEncoder(c.w)
+	if err := c.enc.Encode(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SendReport streams one sniffed measurement report.
+func (c *Client) SendReport(mr cellular.MeasurementReport) error {
+	return c.send(Record{Report: &mr})
+}
+
+// SendHandover streams one sniffed handover command.
+func (c *Client) SendHandover(ho cellular.HandoverEvent) error {
+	return c.send(Record{HO: &ho})
+}
+
+// SendSample streams one radio sample and returns the server's prediction.
+func (c *Client) SendSample(smp trace.Sample) (Response, error) {
+	if err := c.send(Record{Sample: &smp}); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, io.EOF
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("server: bad response: %w", err)
+	}
+	return resp, nil
+}
+
+func (c *Client) send(rec Record) error {
+	if err := c.enc.Encode(rec); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/topology"
+)
+
+// TestCalibration asserts the emergent §5.1 handover-frequency shape on a
+// freeway: SA < LTE < NSA in HOs per km, with LTE near the paper's
+// one-per-0.6 km and the NSA event mix containing every NSA procedure type.
+func TestCalibration(t *testing.T) {
+	perKm := func(carrier topology.CarrierProfile, arch cellular.Arch) (float64, map[cellular.HOType]int) {
+		log, err := Run(freewayConfig(carrier, arch, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[cellular.HOType]int{}
+		for _, h := range log.Handovers {
+			counts[h.Type]++
+		}
+		rate := float64(len(log.Handovers)) / log.DistanceKM()
+		t.Logf("%s/%s: %.2f HO/km (every %.2f km) %v", carrier.Name, arch, rate, 1/rate, counts)
+		return rate, counts
+	}
+
+	lteRate, _ := perKm(topology.OpX(), cellular.ArchLTE)
+	nsaRate, nsaCounts := perKm(topology.OpX(), cellular.ArchNSA)
+	saRate, _ := perKm(topology.OpY(), cellular.ArchSA)
+
+	if lteRate < 1.0 || lteRate > 2.5 {
+		t.Errorf("LTE HO rate %.2f/km; want ≈1.7 (every 0.6 km, §5.1)", lteRate)
+	}
+	if nsaRate <= lteRate {
+		t.Errorf("NSA rate %.2f/km must exceed LTE %.2f/km (§5.1)", nsaRate, lteRate)
+	}
+	if saRate >= lteRate {
+		t.Errorf("SA rate %.2f/km must be below LTE %.2f/km (§5.1)", saRate, lteRate)
+	}
+	for _, typ := range []cellular.HOType{cellular.HOSCGA, cellular.HOSCGR, cellular.HOSCGM, cellular.HOSCGC, cellular.HOMNBH} {
+		if nsaCounts[typ] == 0 {
+			t.Errorf("NSA freeway drive produced no %s procedures", typ)
+		}
+	}
+}

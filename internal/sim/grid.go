@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+)
+
+// cellGrid is a uniform spatial hash over cells, so per-tick scans touch
+// only nearby towers even on cross-country routes with tens of thousands of
+// cells.
+type cellGrid struct {
+	cellSize float64
+	buckets  map[gridKey][]*cellular.Cell
+	// maxRange is the largest search radius any band needs, in buckets.
+	reach int
+}
+
+type gridKey struct{ ix, iy int }
+
+func newCellGrid(cells []*cellular.Cell, cellSize float64) *cellGrid {
+	g := &cellGrid{cellSize: cellSize, buckets: make(map[gridKey][]*cellular.Cell)}
+	maxR := 0.0
+	for _, c := range cells {
+		k := g.keyFor(c.X, c.Y)
+		g.buckets[k] = append(g.buckets[k], c)
+		if r := maxRangeM(c.Band); r > maxR {
+			maxR = r
+		}
+	}
+	g.reach = int(math.Ceil(maxR/cellSize)) + 1
+	return g
+}
+
+func (g *cellGrid) keyFor(x, y float64) gridKey {
+	return gridKey{int(math.Floor(x / g.cellSize)), int(math.Floor(y / g.cellSize))}
+}
+
+// nearby visits every cell within the grid reach of p. Callers apply exact
+// per-band range filtering.
+func (g *cellGrid) nearby(p geo.Point, visit func(*cellular.Cell)) {
+	k := g.keyFor(p.X, p.Y)
+	for dx := -g.reach; dx <= g.reach; dx++ {
+		for dy := -g.reach; dy <= g.reach; dy++ {
+			for _, c := range g.buckets[gridKey{k.ix + dx, k.iy + dy}] {
+				visit(c)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package sim is the drive-test simulator: it advances a UE along a route
+// at the paper's 20 Hz logging rate, computes per-cell signal strength
+// through the propagation model, runs the UE measurement engine and the
+// serving cell's decision engine, executes handovers with their T1/T2
+// stages, and emits the cross-layer trace.Log every analysis consumes.
+//
+// The simulator realises the NSA coupling the paper dissects: an LTE anchor
+// handover (MNBH) forcibly releases the 5G leg (SCGR) because NSA cannot
+// keep an SCG across anchors (§6.1), and inter-gNB moves become SCG Change
+// procedures rather than direct handovers (§6.2).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Config describes one simulated drive.
+type Config struct {
+	Carrier topology.CarrierProfile
+	Arch    cellular.Arch
+	// RouteKind / RouteLengthM choose the synthetic route (metres; perimeter
+	// for loops). Laps > 1 repeats a loop.
+	RouteKind    geo.RouteKind
+	RouteLengthM float64
+	Laps         int
+	// SpeedMPS is the travel speed.
+	SpeedMPS float64
+	// BearerMode selects NSA traffic splitting; ignored for LTE/SA.
+	BearerMode throughput.BearerMode
+	// Seed drives all randomness; equal seeds give identical drives.
+	Seed int64
+	// TopoOpts tunes deployment generation.
+	TopoOpts topology.Options
+	// SampleEveryN stores every Nth 20 Hz sample (default 1 = all). The
+	// simulation itself always runs at full rate.
+	SampleEveryN int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RouteLengthM == 0 {
+		c.RouteLengthM = 20000
+	}
+	if c.SpeedMPS == 0 {
+		c.SpeedMPS = 29 // ≈105 km/h
+	}
+	if c.Laps < 1 {
+		c.Laps = 1
+	}
+	if c.SampleEveryN < 1 {
+		c.SampleEveryN = 1
+	}
+	return c
+}
+
+// maxRangeM bounds the cell search radius per band.
+func maxRangeM(band cellular.Band) float64 {
+	switch band {
+	case cellular.BandLow:
+		return 9000
+	case cellular.BandMid:
+		return 5000
+	case cellular.BandMMWave:
+		return 800
+	default:
+		return 6000
+	}
+}
+
+// Run simulates one drive and returns its trace.
+func Run(cfg Config) (*trace.Log, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Carrier.Has(cfg.Arch) {
+		return nil, fmt.Errorf("sim: carrier %s does not offer %s", cfg.Carrier.Name, cfg.Arch)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	route := geo.Generate(cfg.RouteKind, rng, cfg.RouteLengthM)
+	dep := topology.Generate(cfg.Carrier, route, rng, cfg.TopoOpts)
+	s := newState(cfg, route, dep, rng)
+	s.run()
+	return s.log, nil
+}
+
+// RunOn simulates a drive over a pre-built deployment (several drives can
+// share one city's topology, like the paper's repeated loops).
+func RunOn(cfg Config, dep *topology.Deployment, seed int64) (*trace.Log, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Carrier.Has(cfg.Arch) {
+		return nil, fmt.Errorf("sim: carrier %s does not offer %s", cfg.Carrier.Name, cfg.Arch)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := newState(cfg, dep.Route, dep, rng)
+	s.run()
+	return s.log, nil
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/topology"
+)
+
+func freewayConfig(carrier topology.CarrierProfile, arch cellular.Arch, seed int64) Config {
+	return Config{
+		Carrier:      carrier,
+		Arch:         arch,
+		RouteKind:    geo.RouteFreeway,
+		RouteLengthM: 40000,
+		SpeedMPS:     29,
+		Seed:         seed,
+		TopoOpts:     topology.Options{SkipMMWave: true},
+	}
+}
+
+func TestRunLTEFreeway(t *testing.T) {
+	log, err := Run(freewayConfig(topology.OpX(), cellular.ArchLTE, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.DistanceKM() < 35 {
+		t.Fatalf("drive too short: %.1f km", log.DistanceKM())
+	}
+	if len(log.Handovers) == 0 {
+		t.Fatal("no handovers on a 40 km LTE drive")
+	}
+	for _, h := range log.Handovers {
+		if h.Type != cellular.HOLTEH {
+			t.Fatalf("LTE-only drive produced %s handover", h.Type)
+		}
+		if h.T1 <= 0 || h.T2 <= 0 {
+			t.Fatalf("non-positive stage durations: T1=%v T2=%v", h.T1, h.T2)
+		}
+	}
+	perKm := float64(len(log.Handovers)) / log.DistanceKM()
+	// Paper §5.1: a 4G HO every ~0.6 km on freeways → ~1.7/km. Accept a
+	// generous band; the shape tests live in the experiments package.
+	if perKm < 0.5 || perKm > 4.0 {
+		t.Errorf("LTE HO rate %.2f/km outside plausible band [0.5, 4.0]", perKm)
+	}
+}
+
+func TestRunNSAFreeway(t *testing.T) {
+	log, err := Run(freewayConfig(topology.OpX(), cellular.ArchNSA, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[cellular.HOType]int{}
+	for _, h := range log.Handovers {
+		counts[h.Type]++
+	}
+	if counts[cellular.HOSCGA] == 0 {
+		t.Error("NSA drive never added an SCG")
+	}
+	if counts[cellular.HOLTEH] != 0 {
+		t.Log("note: LTEH occurred in NSA while no NR leg attached (allowed)")
+	}
+	nsaPerKm := float64(len(log.Handovers)) / log.DistanceKM()
+	lteLog, err := Run(freewayConfig(topology.OpX(), cellular.ArchLTE, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltePerKm := float64(len(lteLog.Handovers)) / lteLog.DistanceKM()
+	if nsaPerKm <= ltePerKm {
+		t.Errorf("NSA HO rate (%.2f/km) should exceed LTE (%.2f/km), §5.1", nsaPerKm, ltePerKm)
+	}
+	// NR leg must actually carry data for a meaningful fraction of the
+	// drive.
+	nrTicks := 0
+	for _, s := range log.Samples {
+		if s.ServingNR.Valid {
+			nrTicks++
+		}
+	}
+	if frac := float64(nrTicks) / float64(len(log.Samples)); frac < 0.4 {
+		t.Errorf("NR leg attached only %.0f%% of the NSA drive", frac*100)
+	}
+}
+
+func TestRunSAFreeway(t *testing.T) {
+	log, err := Run(freewayConfig(topology.OpY(), cellular.ArchSA, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Handovers) == 0 {
+		t.Fatal("no SA handovers")
+	}
+	for _, h := range log.Handovers {
+		if h.Type != cellular.HOMCGH {
+			t.Fatalf("SA drive produced %s", h.Type)
+		}
+	}
+}
+
+func TestSANotOfferedByOpX(t *testing.T) {
+	_, err := Run(freewayConfig(topology.OpX(), cellular.ArchSA, 1))
+	if err == nil {
+		t.Fatal("expected error: OpX does not deploy SA")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(freewayConfig(topology.OpX(), cellular.ArchNSA, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(freewayConfig(topology.OpX(), cellular.ArchNSA, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Handovers) != len(b.Handovers) || len(a.Samples) != len(b.Samples) {
+		t.Fatalf("same seed, different drives: %d/%d HOs, %d/%d samples",
+			len(a.Handovers), len(b.Handovers), len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Handovers {
+		if a.Handovers[i] != b.Handovers[i] {
+			t.Fatalf("handover %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSampleDecimation(t *testing.T) {
+	cfg := freewayConfig(topology.OpX(), cellular.ArchLTE, 5)
+	cfg.SampleEveryN = 4
+	dec, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SampleEveryN = 1
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (len(full.Samples) + 3) / 4
+	if math.Abs(float64(len(dec.Samples)-want)) > 2 {
+		t.Errorf("decimated samples = %d, want ≈%d", len(dec.Samples), want)
+	}
+	// Decimation must not change the handover stream.
+	if len(dec.Handovers) != len(full.Handovers) {
+		t.Errorf("decimation changed handovers: %d vs %d", len(dec.Handovers), len(full.Handovers))
+	}
+}
+
+func TestHandoverInterruptionVisibleInSamples(t *testing.T) {
+	log, err := Run(freewayConfig(topology.OpX(), cellular.ArchLTE, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInHO := false
+	for _, s := range log.Samples {
+		if s.InHO {
+			sawInHO = true
+			if s.TputMbps != 0 {
+				t.Fatalf("throughput %.1f Mbps during LTE HO execution; want 0", s.TputMbps)
+			}
+		}
+	}
+	if !sawInHO {
+		t.Error("no sample overlapped a handover execution window")
+	}
+}
+
+func TestMNBHForcesSCGRelease(t *testing.T) {
+	log, err := Run(freewayConfig(topology.OpX(), cellular.ArchNSA, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every MNBH with an attached NR leg must be immediately followed by a
+	// forced SCG procedure — a Change (release+re-add) or a Release —
+	// §6.1's coverage-reduction mechanism.
+	for i, h := range log.Handovers {
+		if h.Type != cellular.HOMNBH || i+1 >= len(log.Handovers) {
+			continue
+		}
+		n := log.Handovers[i+1]
+		if !n.Type.Is5G() {
+			continue // NR leg was not attached at MNBH time
+		}
+		if n.Type != cellular.HOSCGC && n.Type != cellular.HOSCGR && n.Type != cellular.HOSCGA {
+			t.Fatalf("MNBH at %v followed by %s; want SCGC/SCGR/SCGA", h.Time, n.Type)
+		}
+	}
+}
+
+func TestHandoverTimesMonotonic(t *testing.T) {
+	log, err := Run(freewayConfig(topology.OpY(), cellular.ArchNSA, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	for i, h := range log.Handovers {
+		if h.Time < last {
+			t.Fatalf("handover %d time %v before previous %v", i, h.Time, last)
+		}
+		last = h.Time
+	}
+}

@@ -1,0 +1,789 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/ran"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/ue"
+)
+
+// cellObs is one tick's observation of a cell.
+type cellObs struct {
+	cell *cellular.Cell
+	rsrp float64
+}
+
+// pendingHO is a handover in flight.
+type pendingHO struct {
+	typ       cellular.HOType
+	decidedAt time.Duration // MR arrival (start of T1)
+	cmdAt     time.Duration // HO command (start of T2)
+	endAt     time.Duration // completion (end of T2)
+	t1, t2    time.Duration
+	targetLTE *cellular.Cell
+	targetNR  *cellular.Cell
+	logged    bool
+}
+
+type state struct {
+	cfg   Config
+	route *geo.Polyline
+	dep   *topology.Deployment
+	rng   *rand.Rand
+	prop  *radio.PropagationModel
+
+	grid *cellGrid
+
+	meas    *ue.MeasurementEngine
+	engine  *ran.Engine
+	shadows map[string]*radio.ShadowField
+	// l3 holds per-cell L3-filtered RSRP (3GPP layer-3 filtering smooths
+	// fast fading before event evaluation, preventing measurement-noise
+	// ping-pong).
+	l3 map[string]float64
+	// blockage holds the per-mmWave-cell blockage process: abrupt deep
+	// fades from bodies/vehicles/foliage are the defining propagation
+	// behaviour of mmWave links and the trigger behind most of its
+	// handover churn (§4.1's ~2 Gbps throughput drops).
+	blockage map[string]*blockState
+
+	lteCell *cellular.Cell
+	nrCell  *cellular.Cell
+	pending *pendingHO
+	// Beam-training ramp: after attaching a *new* mmWave gNB (SCG addition
+	// or change), beam search/refinement keeps throughput depressed for a
+	// few seconds (§5.2's beam-management cost; §6.2's missing post-HO
+	// improvement). Intra-gNB moves (SCGM) retain beam context.
+	nrRampStart time.Duration
+	nrRampUntil time.Duration
+
+	now   time.Duration
+	odo   float64
+	log   *trace.Log
+	ticks int
+
+	// scratch per-tick observations per tech.
+	obsLTE []cellObs
+	obsNR  []cellObs
+}
+
+func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *rand.Rand) *state {
+	s := &state{
+		cfg:      cfg,
+		route:    route,
+		dep:      dep,
+		rng:      rng,
+		prop:     radio.DefaultModel(),
+		grid:     newCellGrid(dep.Cells, 1000),
+		shadows:  make(map[string]*radio.ShadowField),
+		l3:       make(map[string]float64),
+		blockage: make(map[string]*blockState),
+		log: &trace.Log{
+			Carrier:   cfg.Carrier.Name,
+			Arch:      cfg.Arch,
+			RouteKind: cfg.RouteKind.String(),
+		},
+	}
+	me, err := ue.NewMeasurementEngine(ran.EventConfigsFor(cfg.Carrier.Name, cfg.Arch))
+	if err != nil {
+		panic("sim: " + err.Error())
+	}
+	s.meas = me
+	s.engine = ran.NewEngine(ran.PolicyFor(cfg.Carrier.Name, cfg.Arch))
+	return s
+}
+
+// shadowFor returns the per-cell correlated shadowing process.
+func (s *state) shadowFor(c *cellular.Cell) *radio.ShadowField {
+	id := c.GlobalID()
+	f, ok := s.shadows[id]
+	if !ok {
+		// Derive a per-cell deterministic sub-seed so drives are
+		// reproducible regardless of map iteration.
+		sub := rand.New(rand.NewSource(s.cfg.Seed ^ int64(c.PCI)<<17 ^ int64(c.TowerID)<<3 ^ int64(c.Tech)))
+		f = s.prop.NewShadowField(sub)
+		s.shadows[id] = f
+	}
+	return f
+}
+
+// blockState is a per-cell two-state blockage process: the link alternates
+// between clear and blocked, with exponential clear periods and short deep
+// fades.
+type blockState struct {
+	rng          *rand.Rand
+	blockedUntil time.Duration
+	nextBlock    time.Duration
+	primed       bool
+}
+
+// Blockage process parameters: a mmWave link is blocked on average every
+// ~18 s for ~1.5 s, losing ~22 dB.
+const (
+	blockMeanGapS = 18.0
+	blockMeanDurS = 1.5
+	blockLossDB   = 22.0
+)
+
+// lossAt returns the blockage attenuation at time now.
+func (b *blockState) lossAt(now time.Duration) float64 {
+	if !b.primed {
+		b.primed = true
+		b.nextBlock = now + time.Duration(b.rng.ExpFloat64()*blockMeanGapS*float64(time.Second))
+	}
+	if now < b.blockedUntil {
+		return blockLossDB
+	}
+	if now >= b.nextBlock {
+		dur := time.Duration((0.5 + b.rng.ExpFloat64()*blockMeanDurS) * float64(time.Second))
+		b.blockedUntil = now + dur
+		b.nextBlock = b.blockedUntil + time.Duration(b.rng.ExpFloat64()*blockMeanGapS*float64(time.Second))
+		return blockLossDB
+	}
+	return 0
+}
+
+// blockFor returns the blockage process of a mmWave cell.
+func (s *state) blockFor(c *cellular.Cell) *blockState {
+	id := c.GlobalID()
+	b, ok := s.blockage[id]
+	if !ok {
+		b = &blockState{rng: rand.New(rand.NewSource(s.cfg.Seed ^ int64(c.PCI)<<23 ^ int64(c.TowerID)<<5 ^ 0x5bd1))}
+		s.blockage[id] = b
+	}
+	return b
+}
+
+// observe computes the instantaneous RSRP of a cell at position p.
+func (s *state) observe(c *cellular.Cell, p geo.Point) float64 {
+	d := p.Dist(geo.Point{X: c.X, Y: c.Y})
+	rsrp := s.prop.MedianRSRP(c.Band, c.TxPower, d)
+	rsrp += s.dep.SectorGainDB(c, p)
+	rsrp += s.shadowFor(c).At(s.odo)
+	rsrp += s.prop.Fading(s.rng)
+	if c.Band == cellular.BandMMWave {
+		rsrp -= s.blockFor(c).lossAt(s.now)
+	}
+	return rsrp
+}
+
+// l3Alpha is the per-tick EMA coefficient of the 3GPP L3 measurement
+// filter (filterCoefficient ≈ 4 at 20 Hz sampling).
+const l3Alpha = 0.25
+
+// filter applies L3 filtering to a raw observation of one cell.
+func (s *state) filter(c *cellular.Cell, raw float64) float64 {
+	id := c.GlobalID()
+	prev, ok := s.l3[id]
+	if !ok {
+		s.l3[id] = raw
+		return raw
+	}
+	v := prev*(1-l3Alpha) + raw*l3Alpha
+	s.l3[id] = v
+	return v
+}
+
+// scan refreshes the per-tick observation lists for both technologies.
+func (s *state) scan(p geo.Point) {
+	s.obsLTE = s.obsLTE[:0]
+	s.obsNR = s.obsNR[:0]
+	s.grid.nearby(p, func(c *cellular.Cell) {
+		d := p.Dist(geo.Point{X: c.X, Y: c.Y})
+		if d > maxRangeM(c.Band) {
+			return
+		}
+		o := cellObs{cell: c, rsrp: s.filter(c, s.observe(c, p))}
+		if c.Tech == cellular.TechLTE {
+			s.obsLTE = append(s.obsLTE, o)
+		} else {
+			s.obsNR = append(s.obsNR, o)
+		}
+	})
+}
+
+// best returns the strongest observation, optionally excluding one cell.
+func best(obs []cellObs, exclude *cellular.Cell) (cellObs, bool) {
+	found := false
+	var bst cellObs
+	for _, o := range obs {
+		if exclude != nil && o.cell == exclude {
+			continue
+		}
+		if !found || o.rsrp > bst.rsrp {
+			bst = o
+			found = true
+		}
+	}
+	return bst, found
+}
+
+// bestInBand returns the strongest observation within a band.
+func bestInBand(obs []cellObs, band cellular.Band, exclude *cellular.Cell) (cellObs, bool) {
+	found := false
+	var bst cellObs
+	for _, o := range obs {
+		if o.cell.Band != band || (exclude != nil && o.cell == exclude) {
+			continue
+		}
+		if !found || o.rsrp > bst.rsrp {
+			bst = o
+			found = true
+		}
+	}
+	return bst, found
+}
+
+// addThreshold is the minimum RSRP for an NR band to be considered for SCG
+// addition; the band-priority search below prefers the highest-capacity
+// band that clears its threshold (mmWave where available, as carriers do).
+func addThreshold(band cellular.Band) float64 {
+	switch band {
+	case cellular.BandMMWave:
+		return -100
+	case cellular.BandMid:
+		return -102
+	default:
+		return -104
+	}
+}
+
+// nrCandidate picks the NR cell an SCG addition or change would target:
+// band-priority selection of the *first adequate* cell (above the band's
+// add threshold), excluding the currently attached NR cell. Picking an
+// adequate rather than the optimal target reproduces the §6.2 finding that
+// the independent release/add legs of an SCG change are decided without
+// end-to-end signal comparison.
+func (s *state) nrCandidate() (cellObs, bool) {
+	for _, band := range []cellular.Band{cellular.BandMMWave, cellular.BandMid, cellular.BandLow} {
+		for _, o := range s.obsNR {
+			if o.cell.Band != band || o.cell == s.nrCell {
+				continue
+			}
+			if o.rsrp > addThreshold(band) {
+				return o, true
+			}
+		}
+	}
+	return cellObs{}, false
+}
+
+// lookup finds the cell matching a technology and PCI nearest to p (PCIs
+// wrap spatially, as in real deployments).
+func (s *state) lookup(tech cellular.Tech, pci cellular.PCI, p geo.Point) *cellular.Cell {
+	var bst *cellular.Cell
+	bd := math.MaxFloat64
+	for _, c := range s.dep.Cells {
+		if c.Tech != tech || c.PCI != pci {
+			continue
+		}
+		d := p.Dist(geo.Point{X: c.X, Y: c.Y})
+		if d < bd {
+			bd = d
+			bst = c
+		}
+	}
+	return bst
+}
+
+// observed returns the current-tick RSRP of a specific cell, recomputing if
+// it was out of scan range.
+func (s *state) observed(c *cellular.Cell, p geo.Point) float64 {
+	if c == nil {
+		return -200
+	}
+	for _, o := range s.obsLTE {
+		if o.cell == c {
+			return o.rsrp
+		}
+	}
+	for _, o := range s.obsNR {
+		if o.cell == c {
+			return o.rsrp
+		}
+	}
+	return s.observe(c, p)
+}
+
+func (s *state) run() {
+	total := s.cfg.RouteLengthM * float64(s.cfg.Laps)
+	if s.cfg.RouteKind == geo.RouteCityLoop {
+		total = s.route.Length() * float64(s.cfg.Laps)
+	} else {
+		total = s.route.Length()
+	}
+	dt := trace.SamplePeriod
+	step := s.cfg.SpeedMPS * dt.Seconds()
+
+	// Initial attachment.
+	s.scan(s.route.At(0))
+	if s.cfg.Arch == cellular.ArchSA {
+		if o, ok := best(s.obsNR, nil); ok {
+			s.nrCell = o.cell
+		}
+	} else {
+		if o, ok := best(s.obsLTE, nil); ok {
+			s.lteCell = o.cell
+		}
+	}
+
+	for s.odo = 0; s.odo < total; s.odo += step {
+		lapPos := math.Mod(s.odo, s.route.Length())
+		p := s.route.At(lapPos)
+		s.tick(p, dt)
+		s.now += dt
+		s.ticks++
+	}
+}
+
+func (s *state) tick(p geo.Point, dt time.Duration) {
+	// Complete an in-flight handover.
+	if s.pending != nil && s.now >= s.pending.endAt {
+		s.applyPending(p)
+	}
+
+	s.scan(p)
+	s.recoverIfLost(p)
+
+	in := s.buildMeasInput(p)
+	reports := s.meas.Tick(in, dt)
+	for _, mr := range reports {
+		s.log.Reports = append(s.log.Reports, mr)
+		s.maybeDecide(mr, p)
+	}
+
+	s.logSample(p)
+}
+
+// recoverIfLost reattaches a UE whose serving cell has fallen below the
+// radio-link-failure floor (kept rare by topology density; not counted as a
+// handover, mirroring how RLF re-establishment is distinct from HO).
+func (s *state) recoverIfLost(p geo.Point) {
+	const rlfFloor = -127.0
+	if s.cfg.Arch == cellular.ArchSA {
+		if s.nrCell == nil || s.observed(s.nrCell, p) < rlfFloor {
+			if o, ok := best(s.obsNR, s.nrCell); ok {
+				s.nrCell = o.cell
+				s.meas.Reconfigure(ran.EventConfigsFor(s.cfg.Carrier.Name, s.cfg.Arch))
+			}
+		}
+		return
+	}
+	if s.lteCell == nil || s.observed(s.lteCell, p) < rlfFloor {
+		if o, ok := best(s.obsLTE, s.lteCell); ok {
+			s.lteCell = o.cell
+			s.meas.Reconfigure(ran.EventConfigsFor(s.cfg.Carrier.Name, s.cfg.Arch))
+		}
+	}
+}
+
+func (s *state) buildMeasInput(p geo.Point) ue.Input {
+	in := ue.Input{Time: s.now}
+	if s.lteCell != nil {
+		srv := s.observed(s.lteCell, p)
+		in.LTE = ue.Meas{
+			Valid:       true,
+			ServingPCI:  s.lteCell.PCI,
+			ServingRSRP: srv,
+			ServingRRS:  s.rrsFor(s.lteCell, srv),
+		}
+		// A3 is intra-frequency: the UE compares against neighbours on the
+		// serving band (inter-band moves happen via A2/A5 and RLF paths).
+		if o, ok := bestInBand(s.obsLTE, s.lteCell.Band, s.lteCell); ok {
+			in.LTE.NeighborValid = true
+			in.LTE.NeighborPCI = o.cell.PCI
+			in.LTE.NeighborRSRP = o.rsrp
+		}
+	}
+	if s.nrCell != nil {
+		srv := s.observed(s.nrCell, p)
+		in.NR = ue.Meas{
+			Valid:       true,
+			ServingPCI:  s.nrCell.PCI,
+			ServingRSRP: srv,
+			ServingRRS:  s.rrsFor(s.nrCell, srv),
+		}
+		if o, ok := bestInBand(s.obsNR, s.nrCell.Band, s.nrCell); ok {
+			in.NR.NeighborValid = true
+			in.NR.NeighborPCI = o.cell.PCI
+			in.NR.NeighborRSRP = o.rsrp
+		}
+	}
+	if s.cfg.Arch == cellular.ArchNSA {
+		// B1 watches the best NR cell other than the attached one — both
+		// for initial SCG addition and for converting a weak-SCG release
+		// into an SCG change toward a different gNB.
+		if o, ok := s.nrCandidate(); ok {
+			in.NRCandidate = ue.Meas{Valid: true, ServingPCI: o.cell.PCI, ServingRSRP: o.rsrp}
+		}
+	}
+	return in
+}
+
+// rrsFor derives the full RRS triple for a serving observation.
+func (s *state) rrsFor(c *cellular.Cell, rsrp float64) cellular.RRS {
+	interf := s.interferers(c, rsrp)
+	return cellular.RRS{
+		RSRP: rsrp,
+		RSRQ: radio.RSRQFromRSRP(rsrp, len(interf)),
+		SINR: s.prop.SINR(rsrp, interf),
+	}
+}
+
+// interferers collects co-layer cells within 20 dB of the serving RSRP.
+func (s *state) interferers(c *cellular.Cell, servingRSRP float64) []float64 {
+	obs := s.obsLTE
+	if c.Tech == cellular.TechNR {
+		obs = s.obsNR
+	}
+	var out []float64
+	for _, o := range obs {
+		if o.cell == c || o.cell.Band != c.Band {
+			continue
+		}
+		if o.rsrp > servingRSRP-20 {
+			out = append(out, o.rsrp)
+		}
+	}
+	return out
+}
+
+// maybeDecide feeds an MR to the serving cell and schedules the handover if
+// the policy fires.
+func (s *state) maybeDecide(mr cellular.MeasurementReport, p geo.Point) {
+	ctx := ran.Context{Arch: s.cfg.Arch, NRAttached: s.nrCell != nil}
+	if mr.Tech == cellular.TechNR && mr.Event == cellular.EventA3 && s.nrCell != nil {
+		if tgt := s.lookup(cellular.TechNR, mr.NeighborPCI, p); tgt != nil {
+			ctx.TargetSameGNB = tgt.TowerID == s.nrCell.TowerID
+		}
+	}
+	dec := s.engine.OnReport(mr, ctx)
+	if dec == nil {
+		return
+	}
+	s.schedule(dec, p)
+}
+
+// schedule creates the pending handover for a decision, sampling stage
+// durations and logging the HandoverEvent.
+func (s *state) schedule(dec *ran.Decision, p geo.Point) {
+	ho := &pendingHO{typ: dec.Type, decidedAt: dec.At}
+
+	var target *cellular.Cell
+	switch dec.Type {
+	case cellular.HOLTEH, cellular.HOMNBH:
+		target = s.lookup(cellular.TechLTE, dec.Trigger.NeighborPCI, p)
+		if target == nil || target == s.lteCell {
+			if o, ok := best(s.obsLTE, s.lteCell); ok {
+				target = o.cell
+			}
+		}
+		ho.targetLTE = target
+		if ho.targetLTE == nil {
+			return
+		}
+	case cellular.HOSCGA:
+		target = s.lookup(cellular.TechNR, dec.Trigger.NeighborPCI, p)
+		if target == nil {
+			if o, ok := s.nrCandidate(); ok {
+				target = o.cell
+			}
+		}
+		if target == nil {
+			return // candidate vanished; abort silently
+		}
+		ho.targetNR = target
+	case cellular.HOSCGM, cellular.HOSCGC, cellular.HOMCGH:
+		target = s.lookup(cellular.TechNR, dec.Trigger.NeighborPCI, p)
+		if target == nil || target == s.nrCell {
+			if o, ok := best(s.obsNR, s.nrCell); ok {
+				target = o.cell
+			}
+		}
+		if target == nil {
+			return
+		}
+		ho.targetNR = target
+	case cellular.HOSCGR:
+		// no target
+	}
+
+	band := s.hoBand(ho)
+	coloc := s.coLocated(ho)
+	t1, t2 := ran.SampleDurations(ran.DurationParams{Type: dec.Type, Band: band, CoLocated: coloc}, s.rng)
+	ho.t1, ho.t2 = t1, t2
+	ho.cmdAt = dec.At + t1
+	ho.endAt = ho.cmdAt + t2
+	s.pending = ho
+	s.engine.Begin(ho.endAt)
+
+	s.logHO(ho, band, coloc)
+}
+
+// hoBand returns the band a handover is attributed to: the NR data-plane
+// band for 5G procedures, the LTE serving band otherwise.
+func (s *state) hoBand(ho *pendingHO) cellular.Band {
+	switch {
+	case ho.targetNR != nil:
+		return ho.targetNR.Band
+	case ho.typ.Is5G() && s.nrCell != nil:
+		return s.nrCell.Band
+	case s.lteCell != nil:
+		return s.lteCell.Band
+	case s.nrCell != nil:
+		return s.nrCell.Band
+	default:
+		return cellular.BandMid
+	}
+}
+
+// coLocated reports whether the NSA HO's gNB (origin or destination) shares
+// a tower with the LTE anchor.
+func (s *state) coLocated(ho *pendingHO) bool {
+	if s.cfg.Arch != cellular.ArchNSA || s.lteCell == nil {
+		return false
+	}
+	if ho.targetNR != nil && ho.targetNR.TowerID == s.lteCell.TowerID {
+		return true
+	}
+	if s.nrCell != nil && s.nrCell.TowerID == s.lteCell.TowerID {
+		return true
+	}
+	return false
+}
+
+func (s *state) logHO(ho *pendingHO, band cellular.Band, coloc bool) {
+	ev := cellular.HandoverEvent{
+		Time:      ho.cmdAt,
+		Type:      ho.typ,
+		Arch:      s.cfg.Arch,
+		Band:      band,
+		T1:        ho.t1,
+		T2:        ho.t2,
+		CoLocated: coloc,
+		DistanceM: s.odo,
+		Signaling: ran.SignalingFor(ho.typ, band, s.rng),
+	}
+	switch {
+	case ho.targetLTE != nil:
+		if s.lteCell != nil {
+			ev.SourcePCI = s.lteCell.PCI
+			ev.SourceCell = s.lteCell.GlobalID()
+		}
+		ev.TargetPCI = ho.targetLTE.PCI
+		ev.TargetCell = ho.targetLTE.GlobalID()
+	case ho.targetNR != nil:
+		if s.nrCell != nil {
+			ev.SourcePCI = s.nrCell.PCI
+			ev.SourceCell = s.nrCell.GlobalID()
+		}
+		ev.TargetPCI = ho.targetNR.PCI
+		ev.TargetCell = ho.targetNR.GlobalID()
+	case s.nrCell != nil: // SCGR
+		ev.SourcePCI = s.nrCell.PCI
+		ev.SourceCell = s.nrCell.GlobalID()
+	}
+	ho.logged = true
+	s.log.Handovers = append(s.log.Handovers, ev)
+}
+
+// applyPending commits the attachment change at the end of T2, chaining the
+// forced SCG release that follows an NSA anchor handover (§6.1).
+func (s *state) applyPending(p geo.Point) {
+	ho := s.pending
+	s.pending = nil
+	switch ho.typ {
+	case cellular.HOLTEH:
+		if ho.targetLTE != nil {
+			s.lteCell = ho.targetLTE
+		}
+	case cellular.HOMNBH:
+		if ho.targetLTE != nil {
+			s.lteCell = ho.targetLTE
+		}
+		// NSA cannot carry the SCG across anchors: the 5G leg is released
+		// and (where coverage allows) re-added — an SCG Change from the
+		// procedure-count perspective, with a real data-plane detach gap
+		// that breaks the 5G cell's dwell (§6.1's effective-coverage
+		// reduction).
+		if s.nrCell != nil {
+			s.chainSCGMobility(p)
+			return
+		}
+	case cellular.HOSCGA, cellular.HOSCGM, cellular.HOSCGC, cellular.HOMCGH:
+		if ho.targetNR != nil {
+			newGNB := s.nrCell == nil || ho.targetNR.TowerID != s.nrCell.TowerID
+			s.nrCell = ho.targetNR
+			if newGNB && ho.targetNR.Band == cellular.BandMMWave {
+				s.nrRampStart = s.now
+				s.nrRampUntil = s.now + beamTrainingDur
+			}
+		}
+	case cellular.HOSCGR:
+		s.nrCell = nil
+	}
+	// New serving cell pushes fresh measurement configuration (Fig. 1
+	// step 1), resetting TTT state.
+	s.meas.Reconfigure(ran.EventConfigsFor(s.cfg.Carrier.Name, s.cfg.Arch))
+}
+
+// beamTrainingDur is how long a freshly attached mmWave gNB needs to
+// converge its beam; capacity ramps from beamTrainingFloor to full over
+// this window.
+const beamTrainingDur = 3 * time.Second
+
+// beamTrainingFloor is the initial capacity fraction right after attach.
+const beamTrainingFloor = 0.3
+
+// nrRampFactor returns the current beam-training capacity multiplier.
+func (s *state) nrRampFactor() float64 {
+	if s.nrCell == nil || s.nrCell.Band != cellular.BandMMWave || s.now >= s.nrRampUntil {
+		return 1
+	}
+	frac := float64(s.now-s.nrRampStart) / float64(beamTrainingDur)
+	return beamTrainingFloor + (1-beamTrainingFloor)*frac
+}
+
+// chainSCGMobility schedules the SCG procedure forced by an anchor change:
+// an SCG Change (release + re-add, one procedure) when NR coverage persists,
+// otherwise a plain SCG Release. The NR leg detaches immediately, so the
+// old 5G cell's dwell ends even if the re-add lands on the same PCI.
+func (s *state) chainSCGMobility(p geo.Point) {
+	band := cellular.BandLow
+	if s.nrCell != nil {
+		band = s.nrCell.Band
+	}
+	coloc := s.nrCell != nil && s.lteCell != nil && s.nrCell.TowerID == s.lteCell.TowerID
+	srcNR := s.nrCell
+	s.nrCell = nil // release happens up front
+
+	typ := cellular.HOSCGR
+	var target *cellular.Cell
+	var targetRSRP float64
+	if o, ok := s.nrCandidate(); ok {
+		typ = cellular.HOSCGC
+		target = o.cell
+		targetRSRP = o.rsrp
+	}
+	if srcNR != nil {
+		// The released cell itself competes for the re-add: the new anchor
+		// usually re-attaches the strongest adequate gNB, which is often
+		// the one just released (§6.1's effective-coverage mechanism still
+		// holds — the dwell is broken by the release gap).
+		if rsrp := s.observed(srcNR, p); rsrp > addThreshold(srcNR.Band) && (target == nil || rsrp > targetRSRP) {
+			typ = cellular.HOSCGC
+			target = srcNR
+		}
+	}
+	if target != nil {
+		band = target.Band
+	}
+
+	t1, t2 := ran.SampleDurations(ran.DurationParams{Type: typ, Band: band, CoLocated: coloc}, s.rng)
+	ho := &pendingHO{
+		typ:       typ,
+		decidedAt: s.now,
+		t1:        t1,
+		t2:        t2,
+		cmdAt:     s.now + t1,
+		targetNR:  target,
+	}
+	ho.endAt = ho.cmdAt + t2
+	s.pending = ho
+	s.engine.Begin(ho.endAt)
+
+	ev := cellular.HandoverEvent{
+		Time:      ho.cmdAt,
+		Type:      typ,
+		Arch:      s.cfg.Arch,
+		Band:      band,
+		T1:        t1,
+		T2:        t2,
+		CoLocated: coloc,
+		DistanceM: s.odo,
+		Signaling: ran.SignalingFor(typ, band, s.rng),
+	}
+	if srcNR != nil {
+		ev.SourcePCI = srcNR.PCI
+		ev.SourceCell = srcNR.GlobalID()
+	}
+	if target != nil {
+		ev.TargetPCI = target.PCI
+		ev.TargetCell = target.GlobalID()
+	}
+	s.log.Handovers = append(s.log.Handovers, ev)
+}
+
+// logSample records the 20 Hz cross-layer sample.
+func (s *state) logSample(p geo.Point) {
+	inHO := s.pending != nil && s.now >= s.pending.cmdAt && s.now < s.pending.endAt
+	hoType := cellular.HONone
+	if inHO {
+		hoType = s.pending.typ
+	}
+
+	smp := trace.Sample{
+		Time:      s.now,
+		X:         p.X,
+		Y:         p.Y,
+		OdometerM: s.odo,
+		SpeedMPS:  s.cfg.SpeedMPS,
+		Arch:      s.cfg.Arch,
+		InHO:      inHO,
+		HOType:    hoType,
+	}
+
+	var lteMbps, nrMbps float64
+	if s.lteCell != nil {
+		rsrp := s.observed(s.lteCell, p)
+		rrs := s.rrsFor(s.lteCell, rsrp)
+		smp.ServingLTE = trace.CellObs{PCI: s.lteCell.PCI, Tech: cellular.TechLTE, Band: s.lteCell.Band, RSRP: rrs.RSRP, RSRQ: rrs.RSRQ, SINR: rrs.SINR, Valid: true}
+		lteMbps = throughput.CapacityMbps(cellular.TechLTE, s.lteCell.Band, rrs.SINR)
+		if o, ok := bestInBand(s.obsLTE, s.lteCell.Band, s.lteCell); ok {
+			smp.NeighborLTE = trace.CellObs{PCI: o.cell.PCI, Tech: cellular.TechLTE, Band: o.cell.Band, RSRP: o.rsrp, Valid: true}
+		}
+	}
+	if s.nrCell != nil {
+		rsrp := s.observed(s.nrCell, p)
+		rrs := s.rrsFor(s.nrCell, rsrp)
+		smp.ServingNR = trace.CellObs{PCI: s.nrCell.PCI, Tech: cellular.TechNR, Band: s.nrCell.Band, RSRP: rrs.RSRP, RSRQ: rrs.RSRQ, SINR: rrs.SINR, Valid: true}
+		nrMbps = throughput.CapacityMbps(cellular.TechNR, s.nrCell.Band, rrs.SINR) * s.nrRampFactor()
+		if o, ok := bestInBand(s.obsNR, s.nrCell.Band, s.nrCell); ok {
+			smp.NeighborNR = trace.CellObs{PCI: o.cell.PCI, Tech: cellular.TechNR, Band: o.cell.Band, RSRP: o.rsrp, Valid: true}
+		}
+	} else if s.cfg.Arch == cellular.ArchNSA {
+		if o, ok := s.nrCandidate(); ok {
+			smp.NeighborNR = trace.CellObs{PCI: o.cell.PCI, Tech: cellular.TechNR, Band: o.cell.Band, RSRP: o.rsrp, Valid: true}
+		}
+	}
+
+	var intr throughput.Interruption
+	if inHO {
+		intr = throughput.InterruptionFor(hoType)
+	}
+	switch s.cfg.Arch {
+	case cellular.ArchSA:
+		smp.TputMbps = throughput.Effective(throughput.ModeSCG, 0, nrMbps, intr, true)
+	case cellular.ArchNSA:
+		smp.TputMbps = throughput.Effective(s.cfg.BearerMode, lteMbps, nrMbps, intr, s.nrCell != nil)
+	default:
+		smp.TputMbps = throughput.Effective(throughput.ModeSCG, lteMbps, 0, intr, false)
+		if intr.LTE {
+			smp.TputMbps = 0
+		} else {
+			smp.TputMbps = lteMbps
+		}
+	}
+
+	if s.ticks%s.cfg.SampleEveryN == 0 {
+		s.log.Samples = append(s.log.Samples, smp)
+	}
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("Min/Max")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty inputs must yield NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("single-element stddev must be NaN")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); math.Abs(got-25) > 1e-9 {
+		t.Errorf("p50 = %v", got)
+	}
+}
+
+// TestPercentileProperties: percentile is monotone in p and bounded by
+// min/max, regardless of input order.
+func TestPercentileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 50
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				t.Fatalf("percentile not monotone at p=%v", p)
+			}
+			if v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				t.Fatalf("percentile %v outside data range", v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("CDF has %d points", len(pts))
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+		t.Error("CDF not sorted by X")
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("CDF must end at 1, got %v", pts[len(pts)-1].P)
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF")
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	eval := Linspace(-6, 6, 600)
+	dens := KDE(xs, eval, 0)
+	integral := 0.0
+	for i := 1; i < len(eval); i++ {
+		integral += (dens[i] + dens[i-1]) / 2 * (eval[i] - eval[i-1])
+	}
+	if math.Abs(integral-1) > 0.05 {
+		t.Errorf("KDE integrates to %v, want ≈1", integral)
+	}
+	for _, d := range dens {
+		if d < 0 {
+			t.Fatal("negative density")
+		}
+	}
+}
+
+func TestKDEEmpty(t *testing.T) {
+	dens := KDE(nil, Linspace(0, 1, 5), 0)
+	for _, d := range dens {
+		if d != 0 {
+			t.Error("empty KDE must be zero")
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 10, 11)
+	if len(xs) != 11 || xs[0] != 0 || xs[10] != 10 || xs[5] != 5 {
+		t.Errorf("Linspace = %v", xs)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 3 TP, 1 FP, 1 FN, 10 TN, 1 mismatch.
+	for i := 0; i < 3; i++ {
+		c.Add("A", "A", "none")
+	}
+	c.Add("none", "A", "none")
+	c.Add("A", "none", "none")
+	for i := 0; i < 10; i++ {
+		c.Add("none", "none", "none")
+	}
+	c.Add("A", "B", "none")
+	// mismatch counts as FP+FN.
+	if c.TP != 3 || c.FP != 2 || c.FN != 2 || c.TN != 10 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if p := c.Precision(); math.Abs(p-0.6) > 1e-9 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.6) > 1e-9 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := c.F1(); math.Abs(f-0.6) > 1e-9 {
+		t.Errorf("f1 = %v", f)
+	}
+	if a := c.Accuracy(); a <= 0 || a > 1 {
+		t.Errorf("accuracy = %v", a)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion must yield zeros")
+	}
+}
+
+// TestF1Bounds: F1 always lies within [0, 1] and between precision and
+// recall... actually between min and max of them is false in general; F1 ≤
+// max(P,R) and ≥ min(P,R) holds for the harmonic mean.
+func TestF1Bounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn)}
+		f1 := c.F1()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		p, r := c.Precision(), c.Recall()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-9 && f1 <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != 2 {
+		t.Error("ratio")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("division by zero must be NaN")
+	}
+}

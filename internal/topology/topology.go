@@ -1,0 +1,387 @@
+// Package topology generates synthetic radio deployments along drive routes:
+// towers, sectored cells, PCI assignment, and eNB/gNB co-location. Carrier
+// profiles model the three anonymised operators of the paper (OpX, OpY,
+// OpZ), reproducing their band portfolios and NSA/SA availability (Table 1).
+//
+// Tower spacing per (technology, band) layer is the deployment-side
+// parameter behind the paper's coverage (§6.1) and HO-frequency (§5.1)
+// findings; defaults are calibrated so those statistics emerge from the
+// simulation rather than being asserted.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+)
+
+// Tower is one physical site hosting one or more cells.
+type Tower struct {
+	ID    int
+	Pos   geo.Point
+	Cells []*cellular.Cell
+}
+
+// Layer describes one deployed radio layer: a technology+band combination
+// with its own tower chain along the route.
+type Layer struct {
+	Tech cellular.Tech
+	Band cellular.Band
+	// SpacingM is the mean inter-tower distance along the route, metres.
+	SpacingM float64
+	// Sectors is the number of cells per tower (>= 1). Multi-sector NR
+	// towers make intra-gNB handovers (SCGM) possible.
+	Sectors int
+	// TxPowerDBm is the per-cell transmit power.
+	TxPowerDBm float64
+	// CoLocate, for NR layers, is the probability that a gNB is mounted on
+	// the nearest LTE tower (sharing its position and PCI), per §6.3.
+	CoLocate float64
+}
+
+// CarrierProfile describes one operator's deployment strategy.
+type CarrierProfile struct {
+	Name string
+	// Archs lists the architectures the carrier offers (ArchNSA and/or
+	// ArchSA; ArchLTE is always available).
+	Archs []cellular.Arch
+	// LTELayers and NRLayers enumerate the deployed radio layers.
+	LTELayers []Layer
+	NRLayers  []Layer
+}
+
+// Has reports whether the carrier offers the given architecture.
+func (c CarrierProfile) Has(a cellular.Arch) bool {
+	if a == cellular.ArchLTE {
+		return true
+	}
+	for _, x := range c.Archs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Default tower spacings (metres), calibrated against §5.1/§6.1. The LTE
+// anchor layer at ~1200 m yields 4G handovers every ~0.6 km once sector
+// boundaries are counted; NR layers reproduce the 1.4 / 0.73 / 0.15 km
+// coverage ordering.
+const (
+	SpacingLTEMid   = 1200.0
+	SpacingLTELow   = 2600.0
+	SpacingNRLow    = 2800.0
+	SpacingNRMid    = 1500.0
+	SpacingNRMMWave = 300.0
+)
+
+// OpX returns the OpX-analogue profile: NSA only, NR low-band + mmWave.
+func OpX() CarrierProfile {
+	return CarrierProfile{
+		Name:  "OpX",
+		Archs: []cellular.Arch{cellular.ArchNSA},
+		LTELayers: []Layer{
+			{Tech: cellular.TechLTE, Band: cellular.BandMid, SpacingM: SpacingLTEMid, Sectors: 2, TxPowerDBm: 27},
+			{Tech: cellular.TechLTE, Band: cellular.BandLow, SpacingM: SpacingLTELow, Sectors: 2, TxPowerDBm: 24},
+		},
+		NRLayers: []Layer{
+			{Tech: cellular.TechNR, Band: cellular.BandLow, SpacingM: SpacingNRLow, Sectors: 2, TxPowerDBm: 25, CoLocate: 0.25},
+			{Tech: cellular.TechNR, Band: cellular.BandMMWave, SpacingM: SpacingNRMMWave, Sectors: 3, TxPowerDBm: 36, CoLocate: 0.05},
+		},
+	}
+}
+
+// OpY returns the OpY-analogue profile: NSA + SA, NR low-band + mid-band.
+func OpY() CarrierProfile {
+	return CarrierProfile{
+		Name:  "OpY",
+		Archs: []cellular.Arch{cellular.ArchNSA, cellular.ArchSA},
+		LTELayers: []Layer{
+			{Tech: cellular.TechLTE, Band: cellular.BandMid, SpacingM: SpacingLTEMid, Sectors: 2, TxPowerDBm: 27},
+			{Tech: cellular.TechLTE, Band: cellular.BandLow, SpacingM: SpacingLTELow, Sectors: 2, TxPowerDBm: 24},
+		},
+		NRLayers: []Layer{
+			{Tech: cellular.TechNR, Band: cellular.BandLow, SpacingM: SpacingNRLow, Sectors: 2, TxPowerDBm: 25, CoLocate: 0.36},
+			{Tech: cellular.TechNR, Band: cellular.BandMid, SpacingM: SpacingNRMid, Sectors: 2, TxPowerDBm: 28, CoLocate: 0.2},
+		},
+	}
+}
+
+// OpZ returns the OpZ-analogue profile: NSA only, NR low-band + mmWave.
+func OpZ() CarrierProfile {
+	return CarrierProfile{
+		Name:  "OpZ",
+		Archs: []cellular.Arch{cellular.ArchNSA},
+		LTELayers: []Layer{
+			{Tech: cellular.TechLTE, Band: cellular.BandMid, SpacingM: SpacingLTEMid, Sectors: 2, TxPowerDBm: 27},
+			{Tech: cellular.TechLTE, Band: cellular.BandLow, SpacingM: SpacingLTELow, Sectors: 2, TxPowerDBm: 24},
+		},
+		NRLayers: []Layer{
+			{Tech: cellular.TechNR, Band: cellular.BandLow, SpacingM: SpacingNRLow, Sectors: 2, TxPowerDBm: 25, CoLocate: 0.05},
+			{Tech: cellular.TechNR, Band: cellular.BandMMWave, SpacingM: SpacingNRMMWave, Sectors: 3, TxPowerDBm: 36, CoLocate: 0.05},
+		},
+	}
+}
+
+// Carriers returns the three operator profiles in the paper's order.
+func Carriers() []CarrierProfile {
+	return []CarrierProfile{OpX(), OpY(), OpZ()}
+}
+
+// CarrierByName returns the named profile.
+func CarrierByName(name string) (CarrierProfile, error) {
+	for _, c := range Carriers() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return CarrierProfile{}, fmt.Errorf("topology: unknown carrier %q", name)
+}
+
+// Deployment is a generated radio environment along a route.
+type Deployment struct {
+	Carrier CarrierProfile
+	Route   *geo.Polyline
+	Towers  []*Tower
+	Cells   []*cellular.Cell
+	// byLayer indexes cells by technology and band.
+	byLayer map[layerKey][]*cellular.Cell
+	// azimuth stores each cell's boresight direction (radians) keyed by
+	// GlobalID; sectored antennas give neighbouring sectors of one tower
+	// distinct coverage lobes.
+	azimuth map[string]float64
+	// beamwidth (radians, 3 dB) per cell.
+	beamwidth map[string]float64
+}
+
+type layerKey struct {
+	tech cellular.Tech
+	band cellular.Band
+}
+
+// Options tunes deployment generation.
+type Options struct {
+	// CityDensity scales tower spacing down for city routes (e.g. 0.7 means
+	// towers 30% closer than the freeway default). 0 means 1.0.
+	CityDensity float64
+	// SpacingJitter is the relative standard deviation of inter-tower
+	// spacing (default 0.25).
+	SpacingJitter float64
+	// LateralOffsetM is the mean perpendicular distance from route to tower
+	// (default 80 m).
+	LateralOffsetM float64
+	// IncludeMMWave controls whether mmWave layers are deployed (they exist
+	// only in cities in the paper's dataset). Default true.
+	SkipMMWave bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CityDensity == 0 {
+		o.CityDensity = 1.0
+	}
+	if o.SpacingJitter == 0 {
+		o.SpacingJitter = 0.25
+	}
+	if o.LateralOffsetM == 0 {
+		o.LateralOffsetM = 80
+	}
+	return o
+}
+
+// Generate lays out the carrier's layers along the route.
+func Generate(carrier CarrierProfile, route *geo.Polyline, rng *rand.Rand, opts Options) *Deployment {
+	opts = opts.withDefaults()
+	d := &Deployment{
+		Carrier:   carrier,
+		Route:     route,
+		byLayer:   make(map[layerKey][]*cellular.Cell),
+		azimuth:   make(map[string]float64),
+		beamwidth: make(map[string]float64),
+	}
+	nextLTEPCI := cellular.PCI(1)
+	// NR PCIs start above the LTE range (0-503) so a co-located gNB can
+	// borrow its eNB's PCI (the §6.3 same-PCI heuristic) without colliding
+	// with an allocated NR PCI.
+	nextNRPCI := cellular.PCI(504)
+	towerID := 0
+
+	var lteTowers []*Tower
+	for _, layer := range carrier.LTELayers {
+		towers := d.genLayer(layer, rng, opts, &towerID, &nextLTEPCI, nil)
+		lteTowers = append(lteTowers, towers...)
+	}
+	for _, layer := range carrier.NRLayers {
+		if opts.SkipMMWave && layer.Band == cellular.BandMMWave {
+			continue
+		}
+		d.genLayer(layer, rng, opts, &towerID, &nextNRPCI, lteTowers)
+	}
+	return d
+}
+
+// genLayer places one layer's towers along the route. For NR layers,
+// coLocCandidates enables gNB/eNB co-location: with probability
+// layer.CoLocate a gNB is snapped onto the nearest LTE tower and reuses its
+// PCI (the paper's §6.3 same-PCI heuristic for co-located sites).
+func (d *Deployment) genLayer(layer Layer, rng *rand.Rand, opts Options, towerID *int, nextPCI *cellular.PCI, coLocCandidates []*Tower) []*Tower {
+	if layer.Sectors < 1 {
+		layer.Sectors = 1
+	}
+	spacing := layer.SpacingM * opts.CityDensity
+	var made []*Tower
+	side := 1.0
+	for s := spacing * (0.3 + 0.4*rng.Float64()); s < d.Route.Length(); {
+		pos := d.Route.At(s)
+		heading := d.Route.Heading(s)
+		normal := geo.Point{X: -heading.Y, Y: heading.X}
+		offset := opts.LateralOffsetM * (0.5 + rng.Float64())
+		site := pos.Add(normal.Scale(side * offset))
+		side = -side
+
+		t := &Tower{ID: *towerID, Pos: site}
+		*towerID++
+
+		var pci cellular.PCI
+		coLocated := false
+		if layer.Tech == cellular.TechNR && len(coLocCandidates) > 0 && rng.Float64() < layer.CoLocate {
+			// Snap to the nearest LTE tower, reusing its PCI block and its
+			// tower identity (the cells share the physical site).
+			best := coLocCandidates[0]
+			for _, c := range coLocCandidates[1:] {
+				if c.Pos.Dist(site) < best.Pos.Dist(site) {
+					best = c
+				}
+			}
+			t.Pos = best.Pos
+			t.ID = best.ID
+			pci = best.Cells[0].PCI
+			coLocated = true
+		}
+		if !coLocated {
+			pci = *nextPCI
+			*nextPCI += cellular.PCI(layer.Sectors)
+		}
+
+		for sec := 0; sec < layer.Sectors; sec++ {
+			// Sectors get consecutive PCIs; a co-located gNB borrows the
+			// eNB's PCI block so the paper's same-PCI co-location
+			// heuristic holds per sector.
+			cellPCI := pci + cellular.PCI(sec)
+			c := &cellular.Cell{
+				PCI:     cellPCI,
+				Tech:    layer.Tech,
+				Band:    layer.Band,
+				TowerID: t.ID,
+				X:       t.Pos.X,
+				Y:       t.Pos.Y,
+				TxPower: layer.TxPowerDBm,
+				ARFCN:   arfcnFor(layer.Band),
+			}
+			t.Cells = append(t.Cells, c)
+			d.Cells = append(d.Cells, c)
+			k := layerKey{layer.Tech, layer.Band}
+			d.byLayer[k] = append(d.byLayer[k], c)
+			// Sector boresights split the circle; two-sector towers point
+			// up/down the route so consecutive road segments belong to
+			// different sectors, enabling intra-tower handovers.
+			az := math.Atan2(heading.Y, heading.X) + float64(sec)*2*math.Pi/float64(layer.Sectors)
+			d.azimuth[c.GlobalID()] = az
+			d.beamwidth[c.GlobalID()] = 2 * math.Pi / float64(layer.Sectors) * 0.8
+		}
+		d.Towers = append(d.Towers, t)
+		made = append(made, t)
+
+		jitter := 1 + opts.SpacingJitter*(2*rng.Float64()-1)
+		s += spacing * jitter
+	}
+	return made
+}
+
+// arfcnFor returns a synthetic channel number per band, used only to make
+// log records look like the real thing.
+func arfcnFor(b cellular.Band) int {
+	switch b {
+	case cellular.BandLow:
+		return 125400
+	case cellular.BandMid:
+		return 520110
+	case cellular.BandMMWave:
+		return 2079167
+	default:
+		return 0
+	}
+}
+
+// LayerCells returns the cells of one technology+band layer.
+func (d *Deployment) LayerCells(tech cellular.Tech, band cellular.Band) []*cellular.Cell {
+	return d.byLayer[layerKey{tech, band}]
+}
+
+// TechCells returns all cells of a technology across bands.
+func (d *Deployment) TechCells(tech cellular.Tech) []*cellular.Cell {
+	var out []*cellular.Cell
+	for k, cs := range d.byLayer {
+		if k.tech == tech {
+			out = append(out, cs...)
+		}
+	}
+	return out
+}
+
+// Bands returns the deployed bands for a technology, in low→mmWave order.
+func (d *Deployment) Bands(tech cellular.Tech) []cellular.Band {
+	var out []cellular.Band
+	for _, b := range []cellular.Band{cellular.BandLow, cellular.BandMid, cellular.BandMMWave} {
+		if len(d.byLayer[layerKey{tech, b}]) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SectorGainDB returns the directional antenna gain (dB, <= 0) of the cell
+// toward the UE at position p, using a parabolic pattern with a 20 dB
+// back-lobe floor. Omnidirectional single-sector cells return 0.
+func (d *Deployment) SectorGainDB(c *cellular.Cell, p geo.Point) float64 {
+	bw, ok := d.beamwidth[c.GlobalID()]
+	if !ok || bw >= 2*math.Pi*0.99 {
+		return 0
+	}
+	az := d.azimuth[c.GlobalID()]
+	toUE := math.Atan2(p.Y-c.Y, p.X-c.X)
+	delta := math.Abs(angleDiff(toUE, az))
+	g := -12 * (delta / (bw / 2)) * (delta / (bw / 2))
+	if g < -20 {
+		g = -20
+	}
+	return g
+}
+
+// CoLocatedPCI reports whether an NR cell shares its tower (and PCI) with an
+// LTE cell, the ground truth behind the §6.3 analysis.
+func (d *Deployment) CoLocatedPCI(nr *cellular.Cell) bool {
+	if nr.Tech != cellular.TechNR {
+		return false
+	}
+	for _, c := range d.Cells {
+		if c.Tech == cellular.TechLTE && c.TowerID == nr.TowerID {
+			return true
+		}
+	}
+	return false
+}
+
+// angleDiff returns the signed smallest difference a-b in (-π, π].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}

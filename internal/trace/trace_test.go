@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+)
+
+func sampleLog() *Log {
+	l := &Log{Carrier: "OpX", Arch: cellular.ArchNSA, RouteKind: "freeway"}
+	for i := 0; i < 100; i++ {
+		l.Samples = append(l.Samples, Sample{
+			Time:       time.Duration(i) * SamplePeriod,
+			OdometerM:  float64(i) * 1.45,
+			SpeedMPS:   29,
+			Arch:       cellular.ArchNSA,
+			ServingLTE: CellObs{PCI: 5, Tech: cellular.TechLTE, Band: cellular.BandMid, RSRP: -95, Valid: true},
+			TputMbps:   120,
+		})
+	}
+	l.Reports = append(l.Reports,
+		cellular.MeasurementReport{Time: 1 * time.Second, Event: cellular.EventA2, Tech: cellular.TechLTE},
+		cellular.MeasurementReport{Time: 2 * time.Second, Event: cellular.EventA3, Tech: cellular.TechLTE},
+		cellular.MeasurementReport{Time: 4 * time.Second, Event: cellular.EventB1, Tech: cellular.TechNR},
+	)
+	l.Handovers = append(l.Handovers,
+		cellular.HandoverEvent{Time: 2*time.Second + 100*time.Millisecond, Type: cellular.HOLTEH, T1: 30 * time.Millisecond, T2: 45 * time.Millisecond},
+		cellular.HandoverEvent{Time: 4*time.Second + 500*time.Millisecond, Type: cellular.HOSCGA, T1: 60 * time.Millisecond, T2: 85 * time.Millisecond},
+	)
+	return l
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Carrier != l.Carrier || got.Arch != l.Arch || got.RouteKind != l.RouteKind {
+		t.Errorf("meta mismatch: %+v", got)
+	}
+	if len(got.Samples) != len(l.Samples) || len(got.Reports) != len(l.Reports) || len(got.Handovers) != len(l.Handovers) {
+		t.Fatalf("record counts differ: %d/%d/%d", len(got.Samples), len(got.Reports), len(got.Handovers))
+	}
+	if got.Samples[50] != l.Samples[50] {
+		t.Errorf("sample 50 mismatch:\n got %+v\nwant %+v", got.Samples[50], l.Samples[50])
+	}
+	if got.Handovers[1] != l.Handovers[1] {
+		t.Errorf("handover mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"unknown"}` + "\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"sample"}` + "\n")); err == nil {
+		t.Error("missing payload accepted")
+	}
+}
+
+func TestLogAccessors(t *testing.T) {
+	l := sampleLog()
+	if l.Duration() != 99*SamplePeriod {
+		t.Errorf("Duration = %v", l.Duration())
+	}
+	if km := l.DistanceKM(); km <= 0 {
+		t.Errorf("DistanceKM = %v", km)
+	}
+	if got := l.HandoversOfType(cellular.HOLTEH); len(got) != 1 {
+		t.Errorf("HandoversOfType(LTEH) = %d", len(got))
+	}
+	if got := l.UniquePCIs(cellular.TechLTE); got != 1 {
+		t.Errorf("UniquePCIs = %d", got)
+	}
+	if got := l.Window(time.Second, 2*time.Second); len(got) != 20 {
+		t.Errorf("Window returned %d samples", len(got))
+	}
+	empty := &Log{}
+	if empty.Duration() != 0 || empty.DistanceKM() != 0 {
+		t.Error("empty log accessors")
+	}
+}
+
+func TestSplitPhases(t *testing.T) {
+	l := sampleLog()
+	phases := SplitPhases(l.Reports, l.Handovers)
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases", len(phases))
+	}
+	if phases[0].Pattern() != "A2,A3" {
+		t.Errorf("phase 0 pattern %q", phases[0].Pattern())
+	}
+	if phases[0].HO.Type != cellular.HOLTEH {
+		t.Errorf("phase 0 HO %v", phases[0].HO.Type)
+	}
+	if phases[1].Pattern() != "NR-B1" {
+		t.Errorf("phase 1 pattern %q", phases[1].Pattern())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := sampleLog(), sampleLog()
+	m := Merge(a, b)
+	if len(m.Samples) != 200 || len(m.Handovers) != 4 {
+		t.Fatalf("merged counts: %d samples, %d HOs", len(m.Samples), len(m.Handovers))
+	}
+	// Times must be strictly increasing across the seam.
+	for i := 1; i < len(m.Samples); i++ {
+		if m.Samples[i].Time <= m.Samples[i-1].Time {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+	if m.Handovers[2].Time <= m.Handovers[1].Time {
+		t.Error("handover times not shifted")
+	}
+	// The second log continues exactly where the first ended.
+	if m.Samples[100].OdometerM < m.Samples[99].OdometerM {
+		t.Error("odometer went backwards across the seam")
+	}
+	if m.Samples[199].OdometerM <= m.Samples[99].OdometerM {
+		t.Error("odometer not shifted")
+	}
+}

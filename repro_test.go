@@ -1,0 +1,99 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart runs the README's documented flow end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	log, err := repro.Drive(repro.DriveConfig{
+		Carrier:      repro.OpX(),
+		Arch:         repro.ArchNSA,
+		RouteKind:    repro.RouteCityLoop,
+		RouteLengthM: 2500,
+		Laps:         2,
+		SpeedMPS:     8.3,
+		Seed:         42,
+		TopoOpts:     repro.TopologyOptions{CityDensity: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Handovers) == 0 {
+		t.Fatal("drive produced no handovers")
+	}
+
+	prog, err := repro.NewPrognos(repro.PrognosConfig{
+		EventConfigs:       repro.EventConfigs("OpX", repro.ArchNSA),
+		Arch:               repro.ArchNSA,
+		UseReportPredictor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := repro.Replay(prog, log)
+	if len(ticks) != len(log.Samples) {
+		t.Fatalf("replay produced %d ticks for %d samples", len(ticks), len(log.Samples))
+	}
+	ev := repro.Evaluate(ticks, log.Handovers, time.Second)
+	if ev.TP+ev.FN == 0 {
+		t.Fatal("evaluation saw no handover events")
+	}
+}
+
+func TestPublicAPICarriers(t *testing.T) {
+	if len(repro.Carriers()) != 3 {
+		t.Fatal("three carriers")
+	}
+	if !repro.OpY().Has(repro.ArchSA) {
+		t.Error("OpY deploys SA")
+	}
+	if repro.OpX().Has(repro.ArchSA) {
+		t.Error("OpX does not deploy SA")
+	}
+	if len(repro.EventConfigs("OpZ", repro.ArchNSA)) == 0 {
+		t.Error("no event configs")
+	}
+}
+
+func TestPublicAPIScores(t *testing.T) {
+	s := repro.DefaultScores()
+	if s.Score(repro.HONone) != 1 {
+		t.Error("no-HO score")
+	}
+	if s.Score(repro.HOSCGR) >= 1 || s.Score(repro.HOSCGA) <= 1 {
+		t.Error("vertical HO score directions")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	specs := repro.Experiments()
+	if len(specs) != 20 {
+		t.Fatalf("%d experiments exposed, want 20", len(specs))
+	}
+	// Run the cheapest experiment through the facade.
+	tab, err := repro.RunExperiment("fig13", repro.ExperimentOptions{Seed: 3, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if _, err := repro.RunExperiment("nope", repro.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestPublicAPIEmulator(t *testing.T) {
+	tr, err := repro.NewBandwidthTrace([]float64{50, 60, 70}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := repro.NewLink(tr, 20*time.Millisecond)
+	if d := link.Download(1e6); d <= 0 {
+		t.Fatal("download made no progress")
+	}
+}
