@@ -1,0 +1,23 @@
+# Development targets; CI runs `make check race`.
+
+.PHONY: check race test bench
+
+# Static gate: vet, formatting, and a full build.
+check:
+	go vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+	go build ./...
+
+# Race-enabled short suite: guards the parallel experiment engine. The
+# experiments package trims to a fast experiment subset under the race
+# build tag to keep the detector's overhead inside test timeouts.
+race:
+	go test -race -short ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem

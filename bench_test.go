@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -62,6 +63,38 @@ func BenchmarkFig14Volumetric(b *testing.B)    { experimentBench(b, "fig14c") }
 func BenchmarkFig15Bootstrap(b *testing.B)     { experimentBench(b, "fig15") }
 func BenchmarkFig16HOTypes(b *testing.B)       { experimentBench(b, "fig16") }
 func BenchmarkFig18LeadTime(b *testing.B)      { experimentBench(b, "fig18") }
+
+// --- Whole-paper regeneration: sequential vs. worker pool ---
+
+// benchAll regenerates every registered experiment per iteration through
+// the runner at the given pool size, at a scale small enough to keep one
+// iteration in tens of seconds. Individual experiments may error at this
+// tiny scale (too few events observed); that is part of the workload, not
+// a bench failure — only a runner malfunction aborts.
+func benchAll(b *testing.B, jobs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Runner{Jobs: jobs, Options: experiments.Options{Seed: int64(i + 1), Scale: 0.1}}
+		results, _ := r.Run(context.Background(), experiments.All())
+		rows := 0
+		for _, res := range results {
+			if res.Skipped {
+				b.Fatalf("%s skipped: runner must not cancel without FailFast", res.Spec.ID)
+			}
+			rows += res.Metrics.Rows
+		}
+		b.ReportMetric(float64(rows), "rows/op")
+	}
+}
+
+// BenchmarkAllSequential is the historical one-at-a-time behaviour
+// (vivisect all -jobs 1).
+func BenchmarkAllSequential(b *testing.B) { benchAll(b, 1) }
+
+// BenchmarkAllParallel fans the same batch out across GOMAXPROCS workers;
+// the speedup over BenchmarkAllSequential is the parallel engine's win on
+// the current hardware.
+func BenchmarkAllParallel(b *testing.B) { benchAll(b, 0) }
 
 // --- Micro-benchmarks for the substrate hot paths ---
 

@@ -6,24 +6,32 @@
 // every sample with a prediction line carrying the expected handover type
 // and its ho_score.
 //
+// Run metrics: a client that sends {"stats":true} as its hello receives a
+// one-line JSON snapshot (sessions, streamed observations, predictions,
+// uptime) and the connection closes — the hook dashboards poll. The same
+// snapshot is printed at -stats-interval (when set) and at shutdown.
+//
 // Usage:
 //
-//	prognosd [-addr 127.0.0.1:7015]
+//	prognosd [-addr 127.0.0.1:7015] [-stats-interval 30s]
 //
 // Try it against a simulated drive with examples/livepredict.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7015", "listen address")
+	statsEvery := flag.Duration("stats-interval", 0, "print a stats snapshot at this interval (0 = off)")
 	flag.Parse()
 
 	srv, err := server.Listen(*addr)
@@ -33,9 +41,37 @@ func main() {
 	}
 	fmt.Printf("prognosd listening on %s\n", srv.Addr())
 
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					printStats(srv)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stop)
 	fmt.Println("prognosd: shutting down")
+	printStats(srv)
 	srv.Close()
+}
+
+// printStats writes one JSON snapshot line to stdout.
+func printStats(srv *server.Server) {
+	b, err := json.Marshal(srv.Stats())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prognosd: stats: %v\n", err)
+		return
+	}
+	fmt.Printf("stats %s\n", b)
 }

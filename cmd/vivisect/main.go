@@ -9,14 +9,24 @@
 //
 // Flags:
 //
-//	-seed N     random seed (default 1)
-//	-scale F    drive-length scale factor (default 1.0)
+//	-seed N         random seed (default 1)
+//	-scale F        drive-length scale factor (default 1.0)
+//	-jobs N         worker-pool size (default GOMAXPROCS; 1 = sequential)
+//	-report FILE    write a per-experiment metrics report as JSON
+//	-failfast       stop scheduling experiments after the first error
+//
+// Tables are printed to stdout in registry order and are byte-identical
+// for any -jobs value at the same seed; live progress and the run summary
+// go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,6 +35,9 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool size (1 = sequential)")
+	report := flag.String("report", "", "write a JSON metrics report to this file")
+	failfast := flag.Bool("failfast", false, "cancel pending experiments after the first error")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -34,6 +47,7 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	var specs []experiments.Spec
 	switch args[0] {
 	case "list":
 		for _, s := range experiments.All() {
@@ -41,46 +55,111 @@ func main() {
 		}
 		return
 	case "all":
-		failed := 0
-		for _, s := range experiments.All() {
-			if err := runOne(s, opts); err != nil {
-				fmt.Fprintf(os.Stderr, "vivisect: %s: %v\n", s.ID, err)
-				failed++
-			}
-		}
-		if failed > 0 {
-			os.Exit(1)
-		}
-		return
+		specs = experiments.All()
 	default:
-		failed := 0
+		bad := 0
 		for _, id := range args {
 			s, err := experiments.ByID(id)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vivisect: %v\n", err)
-				failed++
+				bad++
 				continue
 			}
-			if err := runOne(s, opts); err != nil {
-				fmt.Fprintf(os.Stderr, "vivisect: %s: %v\n", s.ID, err)
-				failed++
-			}
+			specs = append(specs, s)
 		}
-		if failed > 0 {
+		if bad > 0 {
 			os.Exit(1)
 		}
 	}
+
+	os.Exit(run(specs, opts, *jobs, *failfast, *report))
 }
 
-func runOne(s experiments.Spec, opts experiments.Options) error {
+// run executes the batch and prints tables (stdout), progress and summary
+// (stderr). It returns the process exit code.
+func run(specs []experiments.Spec, opts experiments.Options, jobs int, failfast bool, reportPath string) int {
+	events := make(chan experiments.Event)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ev := range events {
+			switch {
+			case ev.Skipped:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-8s skipped\n", ev.Done, ev.Total, ev.ID)
+			case ev.Err != nil:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-8s FAILED: %v\n", ev.Done, ev.Total, ev.ID, ev.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %-8s ok  %8s  %3d rows  (%s)\n",
+					ev.Done, ev.Total, ev.ID, ev.Duration.Round(time.Millisecond), ev.Rows, ev.Paper)
+			}
+		}
+	}()
+
+	r := experiments.Runner{Jobs: jobs, Options: opts, FailFast: failfast, Events: events}
 	start := time.Now()
-	t, err := s.Run(opts)
-	if err != nil {
-		return err
+	results, err := r.Run(context.Background(), specs)
+	wall := time.Since(start)
+	close(events)
+	wg.Wait()
+
+	// Tables in spec order: stdout stays byte-identical across -jobs.
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "vivisect: %s: %v\n", res.Spec.ID, res.Err)
+			continue
+		}
+		fmt.Print(res.Table.Render())
+		fmt.Println()
 	}
-	fmt.Print(t.Render())
-	fmt.Printf("(%s in %v)\n\n", s.Paper, time.Since(start).Round(time.Millisecond))
-	return nil
+
+	summarize(results, wall)
+
+	if reportPath != "" {
+		rep := experiments.BuildReport(opts, jobs, wall, results)
+		if werr := rep.WriteFile(reportPath); werr != nil {
+			fmt.Fprintf(os.Stderr, "vivisect: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "metrics report written to %s\n", reportPath)
+	}
+
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+// summarize prints the per-experiment summary table to stderr.
+func summarize(results []experiments.Result, wall time.Duration) {
+	t := experiments.Table{
+		ID:     "summary",
+		Title:  "run summary",
+		Header: []string{"id", "paper", "wall", "rows", "drives", "HOs", "status"},
+	}
+	var drives, hos int64
+	failed, skipped := 0, 0
+	for _, res := range results {
+		m := res.Metrics
+		status := "ok"
+		switch {
+		case res.Skipped:
+			status, skipped = "skipped", skipped+1
+		case res.Err != nil:
+			status, failed = "FAILED", failed+1
+		}
+		drives += m.Drives
+		hos += m.HOEvents
+		t.Rows = append(t.Rows, []string{
+			m.ID, m.Paper,
+			(time.Duration(m.WallMS * float64(time.Millisecond))).Round(time.Millisecond).String(),
+			fmt.Sprint(m.Rows), fmt.Sprint(m.Drives), fmt.Sprint(m.HOEvents), status,
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%d experiments in %v wall (%d drives, %d handover events; %d failed, %d skipped)",
+		len(results), wall.Round(time.Millisecond), drives, hos, failed, skipped))
+	fmt.Fprint(os.Stderr, t.Render())
 }
 
 func usage() {

@@ -141,6 +141,8 @@ func (w *FeatureWindow) Features() []float64 {
 // Label is a training example: features (or location sequence) and the HO
 // class occurring within the following prediction window.
 type Label struct {
+	// Features is the GBC's lower-layer signal feature vector over the
+	// history window (Mei et al.'s feature set, §7.3).
 	Features []float64
 	Seq      [][]float64 // location sequence for the LSTM
 	Class    int         // index into Classes

@@ -20,7 +20,9 @@ type GBCParams struct {
 	// NegativeKeep is the fraction of "no HO" windows kept for training
 	// (the raw stream is ~99.6% negative; default 0.08).
 	NegativeKeep float64
-	Seed         int64
+	// Seed drives subsampling and tree construction; equal seeds give
+	// identical models.
+	Seed int64
 }
 
 func (p GBCParams) withDefaults() GBCParams {

@@ -20,7 +20,9 @@ type LSTMParams struct {
 	LR     float64 // Adam learning rate (default 0.01)
 	// NegativeKeep subsamples "no HO" sequences (default 0.08).
 	NegativeKeep float64
-	Seed         int64
+	// Seed drives weight initialisation and subsampling; equal seeds give
+	// identical models.
+	Seed int64
 }
 
 func (p LSTMParams) withDefaults() LSTMParams {

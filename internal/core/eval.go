@@ -23,7 +23,10 @@ type Predictor interface {
 
 // TickPrediction is one per-sample prediction during a replay.
 type TickPrediction struct {
+	// Time is the radio sample's timestamp (20 Hz grid).
 	Time time.Duration
+	// Type is the handover type predicted for the prediction window
+	// standing at Time (HONone when no handover is expected).
 	Type cellular.HOType
 	// PatternKey identifies the matched pattern (diagnostics).
 	PatternKey string
@@ -54,7 +57,10 @@ func Replay(p Predictor, log *trace.Log) []TickPrediction {
 
 // WindowLabel is the ground truth vs prediction for one evaluation window.
 type WindowLabel struct {
+	// Start is the window's opening instant.
 	Start time.Duration
+	// Truth is the first handover command inside the window (HONone when
+	// the window is quiet); Pred is the prediction standing at Start.
 	Truth cellular.HOType
 	Pred  cellular.HOType
 }
@@ -94,6 +100,10 @@ func Windows(ticks []TickPrediction, handovers []cellular.HandoverEvent, window 
 // positive event; each maximal run of identical positive predictions is one
 // prediction event.
 type EventOutcome struct {
+	// TP, FP and FN are the event-level tallies behind the §7.3 metrics:
+	// a handover predicted with the right type in time is a TP, a
+	// prediction event no handover fulfils is an FP, and a handover no
+	// prediction covered is an FN.
 	TP, FP, FN int
 	// WindowsTotal / WindowsCorrect give the window-level accuracy the
 	// paper reports alongside F1 (dominated by true negatives).

@@ -35,8 +35,7 @@ type Pattern struct {
 	// a miss when it expired unfulfilled or the wrong HO arrived. This is
 	// the learner's self-applied sanity check (§7.1's "explainable system
 	// ... apply sanity checks during prediction process").
-	Hits   int
-	Misses int
+	Hits, Misses int
 }
 
 // Reliability is the Laplace-smoothed empirical precision of predictions

@@ -14,9 +14,10 @@ type Config struct {
 	// EventConfigs are the measurement configurations sniffed from the RRC
 	// layer (step 1 of Fig. 1); required.
 	EventConfigs []cellular.EventConfig
-	// HistoryWindow / PredictionWindow (default 1 s each).
-	HistoryWindow    time.Duration
-	PredictionWindow time.Duration
+	// HistoryWindow bounds how far back observed/predicted reports feed a
+	// prediction, and PredictionWindow is how far ahead each prediction
+	// claims (default 1 s each, the paper's §7.3 setting).
+	HistoryWindow, PredictionWindow time.Duration
 	// SmootherWindow is the triangular-kernel length in samples (default 8).
 	SmootherWindow int
 	// Learner tunes the decision learner.

@@ -63,6 +63,8 @@ func (t *signalTrack) at(k int) (float64, bool) {
 // PredictedReport is a measurement report the report predictor expects the
 // UE to send within the prediction window.
 type PredictedReport struct {
+	// Event is the 3GPP measurement event expected to trigger (A2, A3,
+	// NR-B1, ...), and Tech the RAT it concerns.
 	Event cellular.EventType
 	Tech  cellular.Tech
 	// LeadSteps is how many sample steps ahead the trigger completes.

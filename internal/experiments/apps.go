@@ -15,7 +15,7 @@ import (
 // latency ×2.26 average / ×14.5 worst, loss ×2.24).
 func Fig4(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(6), opts.Seed)
+	log, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(6), opts.Seed)
 	if err != nil {
 		return Table{}, err
 	}
@@ -57,7 +57,7 @@ func Fig4(opts Options) (Table, error) {
 // frames over SCGM; overall drops ×2.6 during HOs).
 func Fig5(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(6), opts.Seed+1)
+	log, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(6), opts.Seed+1)
 	if err != nil {
 		return Table{}, err
 	}
@@ -105,7 +105,7 @@ func Fig5(opts Options) (Table, error) {
 // low / −58% mmWave; latency +41% low / +107% mmWave).
 func Fig6(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(8), opts.Seed+2)
+	log, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(8), opts.Seed+2)
 	if err != nil {
 		return Table{}, err
 	}
@@ -171,11 +171,11 @@ func Fig6(opts Options) (Table, error) {
 // HOs).
 func Fig7(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(6), opts.Seed+3)
+	log, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleInt(6), opts.Seed+3)
 	if err != nil {
 		return Table{}, err
 	}
-	rng := newRNG(opts.Seed + 17)
+	rng := opts.RNG(17)
 	model := throughput.NewRTTModel(rng)
 
 	modes := []throughput.BearerMode{throughput.ModeSplit, throughput.ModeSCG}

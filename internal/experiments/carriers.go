@@ -38,11 +38,11 @@ func Table1(opts Options) (Table, error) {
 	for ci, carrier := range topology.Carriers() {
 		var logs []*trace.Log
 		// LTE + NSA freeway legs.
-		lte, err := freewayDrive(carrier, cellular.ArchLTE, freewayM*0.45, opts.Seed+int64(ci)*7, true)
+		lte, err := opts.freewayDrive(carrier, cellular.ArchLTE, freewayM*0.45, opts.Seed+int64(ci)*7, true)
 		if err != nil {
 			return Table{}, err
 		}
-		nsa, err := freewayDrive(carrier, cellular.ArchNSA, freewayM*0.55, opts.Seed+int64(ci)*7+1, true)
+		nsa, err := opts.freewayDrive(carrier, cellular.ArchNSA, freewayM*0.55, opts.Seed+int64(ci)*7+1, true)
 		if err != nil {
 			return Table{}, err
 		}
@@ -50,14 +50,14 @@ func Table1(opts Options) (Table, error) {
 		cols[ci].freewayKM = lte.DistanceKM() + nsa.DistanceKM()
 		var sa *trace.Log
 		if carrier.Has(cellular.ArchSA) {
-			sa, err = freewayDrive(carrier, cellular.ArchSA, freewayM*0.08, opts.Seed+int64(ci)*7+2, true)
+			sa, err = opts.freewayDrive(carrier, cellular.ArchSA, freewayM*0.08, opts.Seed+int64(ci)*7+2, true)
 			if err != nil {
 				return Table{}, err
 			}
 			logs = append(logs, sa)
 			cols[ci].freewayKM += sa.DistanceKM()
 		}
-		city, err := cityDrive(carrier, cellular.ArchNSA, throughput.ModeSCG, cityPerim, cityLaps, opts.Seed+int64(ci)*7+3)
+		city, err := opts.cityDrive(carrier, cellular.ArchNSA, throughput.ModeSCG, cityPerim, cityLaps, opts.Seed+int64(ci)*7+3)
 		if err != nil {
 			return Table{}, err
 		}
@@ -204,19 +204,19 @@ func Fig11(opts Options) (Table, error) {
 	length := opts.scaleLen(60000)
 	// OpX's NSA deployment is low-band-only once mmWave is excluded, so its
 	// UEs dwell on low-band NR; OpY supplies the mid-band and SA data.
-	nsaLow, err := freewayDrive(topology.OpX(), cellular.ArchNSA, length, opts.Seed+40, true)
+	nsaLow, err := opts.freewayDrive(topology.OpX(), cellular.ArchNSA, length, opts.Seed+40, true)
 	if err != nil {
 		return Table{}, err
 	}
-	nsaMid, err := freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+43, true)
+	nsaMid, err := opts.freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+43, true)
 	if err != nil {
 		return Table{}, err
 	}
-	saLow, err := freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+41, true)
+	saLow, err := opts.freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+41, true)
 	if err != nil {
 		return Table{}, err
 	}
-	mmw, err := cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 5000, opts.scaleIntAtLeast(4, 3), opts.Seed+42)
+	mmw, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 5000, opts.scaleIntAtLeast(4, 3), opts.Seed+42)
 	if err != nil {
 		return Table{}, err
 	}
@@ -296,7 +296,7 @@ func tputPhases(log *trace.Log, match func(cellular.HandoverEvent) bool) (pre, e
 // sequence is decided without end-to-end signal comparison).
 func Fig12(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := walkLoop(topology.OpX(), cellular.ArchNSA, 3000, opts.scaleIntAtLeast(6, 3), opts.Seed+50)
+	log, err := opts.walkLoop(topology.OpX(), cellular.ArchNSA, 3000, opts.scaleIntAtLeast(6, 3), opts.Seed+50)
 	if err != nil {
 		return Table{}, err
 	}
@@ -326,7 +326,7 @@ func Fig12(opts Options) (Table, error) {
 // 1.5-4.8× during execution, SCGM gains ≈43% post, LTEH ≈ −4%).
 func Fig16(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := walkLoop(topology.OpX(), cellular.ArchNSA, 3000, opts.scaleIntAtLeast(8, 3), opts.Seed+51)
+	log, err := opts.walkLoop(topology.OpX(), cellular.ArchNSA, 3000, opts.scaleIntAtLeast(8, 3), opts.Seed+51)
 	if err != nil {
 		return Table{}, err
 	}
@@ -368,7 +368,7 @@ func Fig16(opts Options) (Table, error) {
 // saved when co-located).
 func Fig13(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := freewayDrive(topology.OpY(), cellular.ArchNSA, opts.scaleLen(60000), opts.Seed+60, true)
+	log, err := opts.freewayDrive(topology.OpY(), cellular.ArchNSA, opts.scaleLen(60000), opts.Seed+60, true)
 	if err != nil {
 		return Table{}, err
 	}

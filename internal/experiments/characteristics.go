@@ -26,24 +26,24 @@ func HOFrequency(opts Options) (Table, error) {
 		filter func(cellular.HandoverEvent) bool
 		paper  string
 	}
-	lteLog, err := freewayDrive(topology.OpX(), cellular.ArchLTE, length, opts.Seed, true)
+	lteLog, err := opts.freewayDrive(topology.OpX(), cellular.ArchLTE, length, opts.Seed, true)
 	if err != nil {
 		return Table{}, err
 	}
-	nsaLowLog, err := freewayDrive(topology.OpX(), cellular.ArchNSA, length, opts.Seed+1, true)
+	nsaLowLog, err := opts.freewayDrive(topology.OpX(), cellular.ArchNSA, length, opts.Seed+1, true)
 	if err != nil {
 		return Table{}, err
 	}
-	saLog, err := freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+2, true)
+	saLog, err := opts.freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+2, true)
 	if err != nil {
 		return Table{}, err
 	}
-	nsaMidLog, err := freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+3, true)
+	nsaMidLog, err := opts.freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+3, true)
 	if err != nil {
 		return Table{}, err
 	}
 	// mmWave only exists in cities; use a city drive for its band rate.
-	mmwLog, err := cityDrive(topology.OpX(), cellular.ArchNSA, 0, 5000, opts.scaleIntAtLeast(4, 3), opts.Seed+4)
+	mmwLog, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, 0, 5000, opts.scaleIntAtLeast(4, 3), opts.Seed+4)
 	if err != nil {
 		return Table{}, err
 	}
@@ -140,15 +140,15 @@ func HOFrequency(opts Options) (Table, error) {
 func Fig8(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	length := opts.scaleLen(40000)
-	lteLog, err := freewayDrive(topology.OpY(), cellular.ArchLTE, length, opts.Seed+10, true)
+	lteLog, err := opts.freewayDrive(topology.OpY(), cellular.ArchLTE, length, opts.Seed+10, true)
 	if err != nil {
 		return Table{}, err
 	}
-	nsaLog, err := freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+11, true)
+	nsaLog, err := opts.freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+11, true)
 	if err != nil {
 		return Table{}, err
 	}
-	saLog, err := freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+12, true)
+	saLog, err := opts.freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+12, true)
 	if err != nil {
 		return Table{}, err
 	}
@@ -212,19 +212,19 @@ func Fig8(opts Options) (Table, error) {
 func Fig9(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	length := opts.scaleLen(40000)
-	lteLog, err := freewayDrive(topology.OpY(), cellular.ArchLTE, length, opts.Seed+20, true)
+	lteLog, err := opts.freewayDrive(topology.OpY(), cellular.ArchLTE, length, opts.Seed+20, true)
 	if err != nil {
 		return Table{}, err
 	}
-	nsaLog, err := freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+21, true)
+	nsaLog, err := opts.freewayDrive(topology.OpY(), cellular.ArchNSA, length, opts.Seed+21, true)
 	if err != nil {
 		return Table{}, err
 	}
-	saLog, err := freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+22, true)
+	saLog, err := opts.freewayDrive(saCarrier(), cellular.ArchSA, length, opts.Seed+22, true)
 	if err != nil {
 		return Table{}, err
 	}
-	mmwLog, err := cityDrive(topology.OpX(), cellular.ArchNSA, 0, 5000, opts.scaleIntAtLeast(4, 3), opts.Seed+23)
+	mmwLog, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, 0, 5000, opts.scaleIntAtLeast(4, 3), opts.Seed+23)
 	if err != nil {
 		return Table{}, err
 	}
@@ -301,7 +301,7 @@ func Fig10(opts Options) (Table, error) {
 	speed := 130.0 / 3.6
 
 	run := func(carrier topology.CarrierProfile, arch cellular.Arch, skipMMW bool, density float64, seed int64) (*trace.Log, error) {
-		return simDrive(carrier, arch, length, speed, skipMMW, density, seed)
+		return opts.simDrive(carrier, arch, length, speed, skipMMW, density, seed)
 	}
 	lteLog, err := run(topology.OpX(), cellular.ArchLTE, true, 1, opts.Seed+30)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/emu"
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/throughput"
 	"repro/internal/topology"
@@ -24,11 +25,15 @@ import (
 // Table is one experiment's output: a titled grid plus free-form notes
 // comparing against the paper's reported numbers.
 type Table struct {
-	ID     string // experiment id, e.g. "fig8"
-	Title  string
+	ID string // experiment id, e.g. "fig8"
+	// Title is the human-readable caption rendered in the header line.
+	Title string
+	// Header and Rows are the grid; every row must have len(Header) cells.
 	Header []string
 	Rows   [][]string
-	Notes  []string
+	// Notes are free-form comparison lines against the paper's numbers,
+	// rendered after the grid.
+	Notes []string
 }
 
 // Render formats the table as aligned plain text.
@@ -72,12 +77,46 @@ func (t Table) Render() string {
 
 // Options tunes experiment scale; the defaults favour a few minutes of
 // total runtime while keeping every statistic stable.
+//
+// Options is a value type: the Runner hands every spec its own copy, and
+// all randomness inside an experiment must come from RNG or from seeds
+// derived from Seed, so concurrent experiments never share PRNG state and
+// parallel runs stay byte-identical to sequential ones.
 type Options struct {
-	// Seed drives all randomness (default 1).
+	// Seed drives all randomness (default 1). Every experiment derives
+	// its drive seeds and sampling PRNGs from Seed plus a per-experiment
+	// salt; see RNG.
 	Seed int64
 	// Scale multiplies drive lengths/lap counts (default 1.0). The
 	// benchmark harness uses smaller scales for per-iteration timing.
 	Scale float64
+
+	// probe, when set by Runner via WithProbe, receives drive/handover
+	// counts for the run-metrics report. Nil outside runner-managed runs.
+	probe *metrics.Probe
+}
+
+// WithProbe returns a copy of o that credits simulated drives and their
+// handover events to p. The Runner gives each spec its own probe so the
+// -report output attributes work per experiment even under -jobs N.
+func (o Options) WithProbe(p *metrics.Probe) Options {
+	o.probe = p
+	return o
+}
+
+// RNG returns a fresh experiment-owned PRNG seeded from Seed+salt. Each
+// experiment must use a distinct salt and must never share the returned
+// *rand.Rand with another spec: rand.Rand is not safe for concurrent use,
+// and per-spec ownership is what keeps the parallel runner deterministic.
+func (o Options) RNG(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(o.Seed + salt))
+}
+
+// observe credits one completed drive to the experiment's metrics probe.
+func (o Options) observe(log *trace.Log) {
+	if o.probe != nil {
+		o.probe.ObserveDrive(len(log.Handovers))
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -117,9 +156,10 @@ func (o Options) scaleLen(m float64) float64 {
 	return v
 }
 
-// freewayDrive runs a freeway simulation with common defaults.
-func freewayDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM float64, seed int64, skipMMW bool) (*trace.Log, error) {
-	return sim.Run(sim.Config{
+// freewayDrive runs a freeway simulation with common defaults, crediting
+// the drive to the experiment's metrics probe.
+func (o Options) freewayDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM float64, seed int64, skipMMW bool) (*trace.Log, error) {
+	return o.run(sim.Config{
 		Carrier:      carrier,
 		Arch:         arch,
 		RouteKind:    geo.RouteFreeway,
@@ -131,8 +171,8 @@ func freewayDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM f
 }
 
 // cityDrive runs a city-loop simulation (driving speed).
-func cityDrive(carrier topology.CarrierProfile, arch cellular.Arch, mode throughput.BearerMode, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
-	return sim.Run(sim.Config{
+func (o Options) cityDrive(carrier topology.CarrierProfile, arch cellular.Arch, mode throughput.BearerMode, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
+	return o.run(sim.Config{
 		Carrier:      carrier,
 		Arch:         arch,
 		RouteKind:    geo.RouteCityLoop,
@@ -146,8 +186,8 @@ func cityDrive(carrier topology.CarrierProfile, arch cellular.Arch, mode through
 }
 
 // walkLoop runs a walking-loop simulation (the D1/D2 collection mode).
-func walkLoop(carrier topology.CarrierProfile, arch cellular.Arch, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
-	return sim.Run(sim.Config{
+func (o Options) walkLoop(carrier topology.CarrierProfile, arch cellular.Arch, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
+	return o.run(sim.Config{
 		Carrier:      carrier,
 		Arch:         arch,
 		RouteKind:    geo.RouteCityLoop,
@@ -197,8 +237,8 @@ func bandwidthTrace(log *trace.Log, from, to time.Duration) (*emu.BandwidthTrace
 
 // simDrive is the fully-parameterised freeway drive used by the energy and
 // dataset experiments.
-func simDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM, speedMPS float64, skipMMW bool, density float64, seed int64) (*trace.Log, error) {
-	return sim.Run(sim.Config{
+func (o Options) simDrive(carrier topology.CarrierProfile, arch cellular.Arch, lengthM, speedMPS float64, skipMMW bool, density float64, seed int64) (*trace.Log, error) {
+	return o.run(sim.Config{
 		Carrier:      carrier,
 		Arch:         arch,
 		RouteKind:    geo.RouteFreeway,
@@ -223,8 +263,17 @@ func saCarrier() topology.CarrierProfile {
 	return c
 }
 
-// newRNG returns a seeded PRNG for experiment-local sampling.
-func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// run executes one simulated drive and records it with the probe. All
+// drive helpers (and any experiment calling sim.Run directly) must go
+// through it so the -report drive/handover counts stay complete.
+func (o Options) run(cfg sim.Config) (*trace.Log, error) {
+	log, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o.observe(log)
+	return log, nil
+}
 
 // fmtF renders a float with the given precision.
 func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -16,6 +16,23 @@ var slowIDs = map[string]bool{
 	"ext-coloc": true,
 }
 
+// raceFastIDs is the subset cheap enough for the race detector, whose
+// 5-10x CPU overhead would otherwise push the package past the test
+// timeout on small machines. Race builds exercise the worker pool with
+// these; the plain suite covers every experiment.
+var raceFastIDs = map[string]bool{
+	"fig4": true, "fig5": true, "fig6": true, "fig7": true,
+	"fig8": true, "fig10": true, "fig18": true,
+}
+
+// trimmed reports whether the experiment is skipped in this build/mode.
+func trimmed(id string) bool {
+	if raceEnabled {
+		return !raceFastIDs[id]
+	}
+	return testing.Short() && slowIDs[id]
+}
+
 func TestRegistryComplete(t *testing.T) {
 	all := All()
 	if len(all) != 20 {
@@ -45,8 +62,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
-			if testing.Short() && slowIDs[spec.ID] {
-				t.Skip("slow experiment skipped under -short")
+			if trimmed(spec.ID) {
+				t.Skip("slow experiment skipped under -short/-race")
 			}
 			tab, err := spec.Run(fastOpts())
 			if err != nil {
@@ -71,6 +88,9 @@ func TestAllExperimentsRun(t *testing.T) {
 // TestHOFrequencyShape asserts the §5.1 ordering from the experiment's own
 // rows: SA spacing > LTE spacing > NSA spacing.
 func TestHOFrequencyShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-threaded analysis; covered by the plain suite")
+	}
 	tab, err := HOFrequency(fastOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +117,9 @@ func TestHOFrequencyShape(t *testing.T) {
 
 // TestFig13Shape asserts co-located NSA handovers complete faster.
 func TestFig13Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-threaded analysis; covered by the plain suite")
+	}
 	tab, err := Fig13(fastOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +143,9 @@ func TestFig13Shape(t *testing.T) {
 
 // TestFig8Shape asserts the NSA preparation-stage penalty over LTE.
 func TestFig8Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-threaded analysis; covered by the plain suite")
+	}
 	tab, err := Fig8(fastOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -17,11 +17,11 @@ import (
 // implements the mode and measures it against the two deployed ones.
 func ExtBearer(opts Options) (Table, error) {
 	opts = opts.withDefaults()
-	log, err := cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleIntAtLeast(6, 3), opts.Seed+120)
+	log, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, throughput.ModeSCG, 4000, opts.scaleIntAtLeast(6, 3), opts.Seed+120)
 	if err != nil {
 		return Table{}, err
 	}
-	rng := newRNG(opts.Seed + 121)
+	rng := opts.RNG(121)
 	model := throughput.NewRTTModel(rng)
 
 	modes := []throughput.BearerMode{throughput.ModeSCG, throughput.ModeSplit, throughput.ModeSplitDirect}
@@ -94,7 +94,7 @@ func ExtColocation(opts Options) (Table, error) {
 		c := topology.OpX()
 		c.NRLayers = c.NRLayers[:1]
 		c.NRLayers[0].CoLocate = frac
-		log, err := simDrive(c, cellular.ArchNSA, opts.scaleLen(50000), 29, true, 1, opts.Seed+130+int64(i))
+		log, err := opts.simDrive(c, cellular.ArchNSA, opts.scaleLen(50000), 29, true, 1, opts.Seed+130+int64(i))
 		if err != nil {
 			return Table{}, err
 		}

@@ -36,17 +36,18 @@ func predictionDataset(name string, opts Options) (*trace.Log, error) {
 	switch name {
 	case "D1":
 		// 7× 35-minute walking loops of a tourist area (mmWave + LTE).
-		return walkCustom(d1Carrier(), 2900, opts.scaleInt(7), opts.Seed+70)
+		return opts.walkCustom(d1Carrier(), 2900, opts.scaleInt(7), opts.Seed+70)
 	case "D2":
 		// 10× 25-minute loops downtown, low-band 5G as well.
-		return walkCustom(topology.OpX(), 2100, opts.scaleInt(10), opts.Seed+71)
+		return opts.walkCustom(topology.OpX(), 2100, opts.scaleInt(10), opts.Seed+71)
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", name)
 	}
 }
 
-func walkCustom(carrier topology.CarrierProfile, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
-	return walkLoop(carrier, cellular.ArchNSA, perimeterM, laps, seed)
+// walkCustom is the walking collection run both §7.3 datasets share.
+func (opts Options) walkCustom(carrier topology.CarrierProfile, perimeterM float64, laps int, seed int64) (*trace.Log, error) {
+	return opts.walkLoop(carrier, cellular.ArchNSA, perimeterM, laps, seed)
 }
 
 // splitByTime cuts a log at the given fraction of its duration (the 60/40
@@ -216,7 +217,7 @@ func collectABRWindows(opts Options, want int) ([]abrWindow, error) {
 	var out []abrWindow
 	const winDur = 240 * time.Second
 	for seedOff := int64(0); len(out) < want && seedOff < 8; seedOff++ {
-		log, err := cityDrive(topology.OpX(), cellular.ArchNSA, 0, 6000, 6, opts.Seed+90+seedOff)
+		log, err := opts.cityDrive(topology.OpX(), cellular.ArchNSA, 0, 6000, 6, opts.Seed+90+seedOff)
 		if err != nil {
 			return nil, err
 		}
@@ -430,7 +431,7 @@ func Fig15(opts Options) (Table, error) {
 	core.Replay(teacher, teacherLog)
 	patterns := frequentPatterns(teacher.Learner().Patterns())
 
-	testLog, err := walkCustom(d1Carrier(), 2900, opts.scaleInt(3), opts.Seed+101)
+	testLog, err := opts.walkCustom(d1Carrier(), 2900, opts.scaleInt(3), opts.Seed+101)
 	if err != nil {
 		return Table{}, err
 	}
@@ -504,7 +505,7 @@ func Fig18(opts Options) (Table, error) {
 	// Lead-time forecasting works on smoothly-evolving signals; a low-band
 	// downtown walk (D2's low-band side) is the forecastable regime, while
 	// mmWave blockage onsets are abrupt and bound the lead to the TTT.
-	log, err := sim.Run(sim.Config{
+	log, err := opts.run(sim.Config{
 		Carrier:      topology.OpX(),
 		Arch:         cellular.ArchNSA,
 		RouteKind:    geo.RouteCityLoop,

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with -race. The
+// detector multiplies CPU time several-fold, so the suite trims the
+// ML-training experiments under race builds the same way it does under
+// -short; the plain build still covers every registered experiment.
+const raceEnabled = true

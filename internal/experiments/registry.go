@@ -4,9 +4,13 @@ import "fmt"
 
 // Spec names one runnable experiment.
 type Spec struct {
+	// ID is the stable command-line name, e.g. "fig8".
 	ID    string
 	Paper string // the table/figure it regenerates
-	Run   func(Options) (Table, error)
+	// Run regenerates the table. It must derive all randomness from its
+	// Options (seed salts / Options.RNG) and never touch shared mutable
+	// state: the Runner may invoke many specs concurrently.
+	Run func(Options) (Table, error)
 }
 
 // All returns every experiment in paper order.

@@ -1,0 +1,213 @@
+// Package metrics is the run-metrics layer for the experiment harness and
+// the Prognos service: per-experiment counters collected while the paper's
+// tables are regenerated (wall time, drives simulated, handover events
+// processed, allocations), a machine-readable JSON run report
+// (vivisect -report run.json), and the session/sample counters prognosd
+// exposes over its stats endpoint. The package has no dependencies on the
+// rest of the repository so every layer can record into it.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Experiment records how one experiment regeneration went. It is one row
+// of the run report and of the summary table vivisect prints after a run.
+type Experiment struct {
+	// ID is the experiment id from the registry, e.g. "fig8".
+	ID string `json:"id"`
+	// Paper names the table/figure the experiment regenerates.
+	Paper string `json:"paper"`
+	// WallMS is the experiment's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Rows counts the rendered table rows the experiment produced.
+	Rows int `json:"rows"`
+	// Drives counts the synthetic drives the experiment simulated.
+	Drives int64 `json:"drives"`
+	// HOEvents counts the handover events across those drives.
+	HOEvents int64 `json:"ho_events"`
+	// Allocs and AllocBytes are heap-allocation deltas measured around the
+	// experiment (runtime.MemStats). The runtime only exposes process-wide
+	// totals, so with more than one worker the numbers include concurrent
+	// experiments; they are exact at -jobs 1.
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Err is the failure message, empty on success.
+	Err string `json:"error,omitempty"`
+	// Skipped marks experiments cancelled before they started (fail-fast).
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// Report is the machine-readable run report vivisect emits with -report:
+// the run configuration plus one Experiment entry per spec, in registry
+// order.
+type Report struct {
+	// Seed and Scale are the experiments.Options the run used.
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	// Jobs is the worker-pool size the run used (1 = sequential).
+	Jobs int `json:"jobs"`
+	// GoMaxProcs records runtime.GOMAXPROCS(0) at run time.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// WallMS is the whole run's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Experiments holds the per-experiment metrics in registry order.
+	Experiments []Experiment `json:"experiments"`
+}
+
+// TotalDrives sums the drives simulated across all experiments.
+func (r Report) TotalDrives() int64 {
+	var n int64
+	for _, e := range r.Experiments {
+		n += e.Drives
+	}
+	return n
+}
+
+// TotalHOEvents sums the handover events processed across all experiments.
+func (r Report) TotalHOEvents() int64 {
+	var n int64
+	for _, e := range r.Experiments {
+		n += e.HOEvents
+	}
+	return n
+}
+
+// Failed counts experiments that errored (skipped ones excluded).
+func (r Report) Failed() int {
+	n := 0
+	for _, e := range r.Experiments {
+		if e.Err != "" && !e.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// Marshal renders the report as indented JSON.
+func (r Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("metrics: marshal report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("metrics: write report: %w", err)
+	}
+	return nil
+}
+
+// ReadFile parses a report previously written with WriteFile.
+func ReadFile(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("metrics: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("metrics: parse report %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Probe counts the simulator work attributable to one experiment. The
+// runner hands every spec its own probe via Options.WithProbe, and the
+// drive helpers credit each completed drive to it; counters are atomic so
+// an experiment may itself fan drives out across goroutines later.
+type Probe struct {
+	drives   atomic.Int64
+	hoEvents atomic.Int64
+}
+
+// ObserveDrive credits one completed drive carrying hoEvents handovers.
+func (p *Probe) ObserveDrive(hoEvents int) {
+	p.drives.Add(1)
+	p.hoEvents.Add(int64(hoEvents))
+}
+
+// Drives returns the number of drives observed so far.
+func (p *Probe) Drives() int64 { return p.drives.Load() }
+
+// HOEvents returns the number of handover events observed so far.
+func (p *Probe) HOEvents() int64 { return p.hoEvents.Load() }
+
+// ServerStats aggregates the liveness counters of a Prognos service:
+// sessions served, observations streamed, predictions returned. All
+// methods are safe for concurrent sessions.
+type ServerStats struct {
+	start       time.Time
+	sessions    atomic.Int64
+	active      atomic.Int64
+	samples     atomic.Int64
+	reports     atomic.Int64
+	handovers   atomic.Int64
+	predictions atomic.Int64
+}
+
+// NewServerStats returns a stats block with the uptime clock started.
+func NewServerStats() *ServerStats {
+	return &ServerStats{start: time.Now()}
+}
+
+// SessionOpened records a new prediction session.
+func (s *ServerStats) SessionOpened() {
+	s.sessions.Add(1)
+	s.active.Add(1)
+}
+
+// SessionClosed records the end of a prediction session.
+func (s *ServerStats) SessionClosed() { s.active.Add(-1) }
+
+// AddSample records one streamed radio sample.
+func (s *ServerStats) AddSample() { s.samples.Add(1) }
+
+// AddReport records one sniffed measurement report.
+func (s *ServerStats) AddReport() { s.reports.Add(1) }
+
+// AddHandover records one sniffed handover command.
+func (s *ServerStats) AddHandover() { s.handovers.Add(1) }
+
+// AddPrediction records one prediction returned to a client.
+func (s *ServerStats) AddPrediction() { s.predictions.Add(1) }
+
+// Snapshot returns a consistent-enough copy of the counters for export.
+func (s *ServerStats) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		Sessions:    s.sessions.Load(),
+		Active:      s.active.Load(),
+		Samples:     s.samples.Load(),
+		Reports:     s.reports.Load(),
+		Handovers:   s.handovers.Load(),
+		Predictions: s.predictions.Load(),
+	}
+}
+
+// ServerSnapshot is the JSON shape of a ServerStats export: what prognosd
+// returns for a {"stats":true} hello and prints at shutdown.
+type ServerSnapshot struct {
+	// UptimeMS is the service uptime in milliseconds.
+	UptimeMS float64 `json:"uptime_ms"`
+	// Sessions counts sessions accepted since start; Active counts the
+	// sessions currently open.
+	Sessions int64 `json:"sessions"`
+	Active   int64 `json:"active_sessions"`
+	// Samples, Reports and Handovers count the streamed observations by
+	// record kind; Predictions counts prediction lines returned.
+	Samples     int64 `json:"samples"`
+	Reports     int64 `json:"reports"`
+	Handovers   int64 `json:"handovers"`
+	Predictions int64 `json:"predictions"`
+}

@@ -66,7 +66,11 @@ const crossTowerT1ExtraMS = 13
 // DurationParams identifies the conditions of one handover for duration
 // sampling.
 type DurationParams struct {
-	Type      cellular.HOType
+	// Type is the handover procedure being executed (§5.2's per-type
+	// duration profiles).
+	Type cellular.HOType
+	// Band is the target cell's band; mmWave lengthens execution by
+	// mmWaveT2Factor (beam management, §5.2).
 	Band      cellular.Band
 	CoLocated bool // eNB/gNB co-located (only consulted for NSA 5G types)
 }

@@ -9,6 +9,8 @@ import (
 // Decision is a handover decision made by the serving cell: the type of the
 // procedure to run and the measurement reports that triggered it.
 type Decision struct {
+	// Type is the decided handover procedure (§4.1's taxonomy), and Rule
+	// the policy rule that fired.
 	Type cellular.HOType
 	Rule *Rule
 	// At is the time the triggering MR was received (start of T1).

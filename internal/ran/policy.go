@@ -56,8 +56,11 @@ type Rule struct {
 	// e.g. ["A2", "A5"]. Keys follow cellular.MeasurementReport.Key
 	// ("A3", "NR-B1", ...).
 	Sequence []string
-	Guard    Guard
-	HO       cellular.HOType
+	// Guard restricts when the rule may fire (co-location, NR attachment);
+	// GuardNone admits everything.
+	Guard Guard
+	// HO is the handover type the carrier runs for this sequence.
+	HO cellular.HOType
 }
 
 // String renders the rule in the paper's pattern notation, e.g.
@@ -68,7 +71,10 @@ func (r Rule) String() string {
 
 // Context carries the decision-time facts a guard may consult.
 type Context struct {
-	Arch       cellular.Arch
+	// Arch is the deployment architecture the UE is operating under.
+	Arch cellular.Arch
+	// NRAttached reports whether the UE currently holds an NR leg (an
+	// SCG); SCG-addition vs. SCG-change decisions hinge on it (§4.1).
 	NRAttached bool
 	// TargetSameGNB reports whether the best NR neighbour is hosted by the
 	// serving gNB (only meaningful for NR-A3 decisions).
@@ -95,7 +101,10 @@ func (g Guard) admits(ctx Context) bool {
 // Rules are checked in order; the first whose sequence suffix-matches the
 // recent MR history and whose guard admits the context wins.
 type Policy struct {
-	Name  string
+	// Name labels the policy for diagnostics, e.g. "OpX/NSA".
+	Name string
+	// Rules are checked in order; earlier rules take precedence (the
+	// paper's MNBH-before-SCG orderings live here, §7.1).
 	Rules []Rule
 }
 

@@ -19,21 +19,31 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/ran"
 	"repro/internal/trace"
 )
 
 // Hello is the first line a client sends: the deployment context the
-// Prognos instance needs.
+// Prognos instance needs, or a stats request.
 type Hello struct {
+	// Carrier ("OpX"/"OpY") and Arch pick the measurement-event
+	// configurations and policies the session's Prognos instance loads.
 	Carrier string        `json:"carrier"`
 	Arch    cellular.Arch `json:"arch"`
 	// UseReportPredictor enables the early-warning stage (default true).
 	DisableReportPredictor bool `json:"disable_report_predictor,omitempty"`
+	// Stats, when true, turns the session into a one-shot stats query:
+	// the server answers with one metrics.ServerSnapshot JSON line and
+	// closes. Carrier/Arch are ignored for stats sessions.
+	Stats bool `json:"stats,omitempty"`
 }
 
 // Record is one streamed observation; exactly one payload field is set.
 type Record struct {
+	// Sample is a 20 Hz radio sample; the server answers it with a
+	// Response line. Report (a sniffed measurement report) and HO (a
+	// sniffed handover command) are one-way observations.
 	Sample *trace.Sample               `json:"sample,omitempty"`
 	Report *cellular.MeasurementReport `json:"report,omitempty"`
 	HO     *cellular.HandoverEvent     `json:"ho,omitempty"`
@@ -41,17 +51,25 @@ type Record struct {
 
 // Response is the per-sample prediction sent back to the client.
 type Response struct {
-	Time       time.Duration   `json:"t"`
-	Type       cellular.HOType `json:"type"`
-	TypeName   string          `json:"type_name"`
-	Score      float64         `json:"score"`
-	Similarity float64         `json:"similarity"`
-	LeadMS     int64           `json:"lead_ms"`
+	// Time echoes the triggering sample's timestamp.
+	Time time.Duration `json:"t"`
+	// Type and TypeName give the predicted handover for the coming
+	// prediction window (HONone/"NONE" when quiet).
+	Type     cellular.HOType `json:"type"`
+	TypeName string          `json:"type_name"`
+	// Score is the ho_score applications act on (§7: 1 = no impact
+	// expected, lower = heavier procedure expected).
+	Score float64 `json:"score"`
+	// Similarity is the matched pattern's similarity (diagnostics), and
+	// LeadMS how far ahead the prediction was first standing.
+	Similarity float64 `json:"similarity"`
+	LeadMS     int64   `json:"lead_ms"`
 }
 
 // Server accepts Prognos prediction sessions.
 type Server struct {
-	ln net.Listener
+	ln    net.Listener
+	stats *metrics.ServerStats
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -65,13 +83,17 @@ func Listen(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	s := &Server{ln: ln, stats: metrics.NewServerStats(), conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
 	go s.acceptLoop()
 	return s, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the service's run metrics: sessions served,
+// observations streamed and predictions returned since Listen.
+func (s *Server) Stats() metrics.ServerSnapshot { return s.stats.Snapshot() }
 
 // Close stops accepting and closes every active session.
 func (s *Server) Close() error {
@@ -125,6 +147,14 @@ func (s *Server) serve(conn net.Conn) error {
 	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
 		return fmt.Errorf("server: bad hello: %w", err)
 	}
+	if hello.Stats {
+		if err := enc.Encode(s.stats.Snapshot()); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	s.stats.SessionOpened()
+	defer s.stats.SessionClosed()
 	prog, err := core.New(core.Config{
 		EventConfigs:       ran.EventConfigsFor(hello.Carrier, hello.Arch),
 		Arch:               hello.Arch,
@@ -141,12 +171,16 @@ func (s *Server) serve(conn net.Conn) error {
 		}
 		switch {
 		case rec.Report != nil:
+			s.stats.AddReport()
 			prog.OnReport(*rec.Report)
 		case rec.HO != nil:
+			s.stats.AddHandover()
 			prog.OnHandover(*rec.HO)
 		case rec.Sample != nil:
+			s.stats.AddSample()
 			prog.OnSample(*rec.Sample)
 			pred := prog.Predict()
+			s.stats.AddPrediction()
 			resp := Response{
 				Time:       rec.Sample.Time,
 				Type:       pred.Type,
@@ -237,4 +271,26 @@ func (c *Client) send(rec Record) error {
 		return err
 	}
 	return c.w.Flush()
+}
+
+// FetchStats opens a one-shot stats session against a Prognos server and
+// returns its run-metrics snapshot. This is what `prognosd` deployments
+// use for liveness dashboards.
+func FetchStats(addr string) (metrics.ServerSnapshot, error) {
+	c, err := Dial(addr, Hello{Stats: true})
+	if err != nil {
+		return metrics.ServerSnapshot{}, err
+	}
+	defer c.Close()
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return metrics.ServerSnapshot{}, err
+		}
+		return metrics.ServerSnapshot{}, io.EOF
+	}
+	var snap metrics.ServerSnapshot
+	if err := json.Unmarshal(c.sc.Bytes(), &snap); err != nil {
+		return metrics.ServerSnapshot{}, fmt.Errorf("server: bad stats response: %w", err)
+	}
+	return snap, nil
 }

@@ -88,6 +88,64 @@ func TestServerConcurrentSessions(t *testing.T) {
 	wg.Wait()
 }
 
+// TestServerStats drives one session and checks the run metrics both
+// in-process (Server.Stats) and over the wire (FetchStats).
+func TestServerStats(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr(), Hello{Carrier: "OpX", Arch: cellular.ArchNSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := client.SendSample(mkSample(time.Duration(k)*50*time.Millisecond, -85)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.SendReport(cellular.MeasurementReport{Time: 200 * time.Millisecond, Event: cellular.EventA2, Tech: cellular.TechLTE, ServingPCI: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendHandover(cellular.HandoverEvent{Time: 250 * time.Millisecond, Type: cellular.HOLTEH}); err != nil {
+		t.Fatal(err)
+	}
+	// The report/HO records are one-way; a final sample round-trip
+	// guarantees the server has consumed them.
+	if _, err := client.SendSample(mkSample(300*time.Millisecond, -85)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := srv.Stats()
+	if snap.Sessions != 1 || snap.Active != 1 {
+		t.Errorf("sessions=%d active=%d, want 1/1", snap.Sessions, snap.Active)
+	}
+	if snap.Samples != 4 || snap.Predictions != 4 || snap.Reports != 1 || snap.Handovers != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+
+	wire, err := FetchStats(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Samples != snap.Samples || wire.Sessions != snap.Sessions {
+		t.Errorf("wire snapshot %+v != in-process %+v", wire, snap)
+	}
+	if wire.UptimeMS < 0 {
+		t.Errorf("uptime %v", wire.UptimeMS)
+	}
+	client.Close()
+
+	// A stats session must not count as a prediction session.
+	if snap2, err := FetchStats(srv.Addr()); err != nil {
+		t.Fatal(err)
+	} else if snap2.Sessions != 1 {
+		t.Errorf("stats queries must not inflate the session count: %+v", snap2)
+	}
+}
+
 func TestServerRejectsBadHello(t *testing.T) {
 	srv, err := Listen("127.0.0.1:0")
 	if err != nil {

@@ -23,10 +23,14 @@ import (
 
 // Config describes one simulated drive.
 type Config struct {
+	// Carrier is the operator profile whose deployment and policies the
+	// drive runs under (§3's OpX/OpY).
 	Carrier topology.CarrierProfile
-	Arch    cellular.Arch
-	// RouteKind / RouteLengthM choose the synthetic route (metres; perimeter
-	// for loops). Laps > 1 repeats a loop.
+	// Arch selects LTE, NSA or SA operation (§2.1).
+	Arch cellular.Arch
+	// RouteKind / RouteLengthM choose the synthetic route (metres;
+	// perimeter for loops), and Laps > 1 repeats a loop (the paper's
+	// walking-loop collection runs).
 	RouteKind    geo.RouteKind
 	RouteLengthM float64
 	Laps         int
