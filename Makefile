@@ -1,6 +1,6 @@
 # Development targets; CI runs `make check race`.
 
-.PHONY: check race test bench
+.PHONY: check race test bench bench-json
 
 # Static gate: vet, formatting, and a full build.
 check:
@@ -21,3 +21,12 @@ test:
 
 bench:
 	go test -bench=. -benchmem
+
+# Perf trajectory tracking: run the substrate micro-benchmarks and commit
+# the result as BENCH_<utc-date>.json (see docs/ARCHITECTURE.md §Performance
+# for how to read and compare the files).
+BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPatternMatch)$$
+bench-json:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
+		| go run ./tools/benchjson > BENCH_$$(date -u +%Y-%m-%d).json
+	@ls BENCH_$$(date -u +%Y-%m-%d).json

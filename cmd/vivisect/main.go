@@ -14,6 +14,8 @@
 //	-jobs N         worker-pool size (default GOMAXPROCS; 1 = sequential)
 //	-report FILE    write a per-experiment metrics report as JSON
 //	-failfast       stop scheduling experiments after the first error
+//	-cpuprofile F   write a pprof CPU profile of the run to F
+//	-memprofile F   write a pprof heap profile (taken at exit) to F
 //
 // Tables are printed to stdout in registry order and are byte-identical
 // for any -jobs value at the same seed; live progress and the run summary
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -38,6 +41,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool size (1 = sequential)")
 	report := flag.String("report", "", "write a JSON metrics report to this file")
 	failfast := flag.Bool("failfast", false, "cancel pending experiments after the first error")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (at exit) to this file")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -72,7 +77,57 @@ func main() {
 		}
 	}
 
-	os.Exit(run(specs, opts, *jobs, *failfast, *report))
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vivisect: %v\n", err)
+		os.Exit(1)
+	}
+	code := run(specs, opts, *jobs, *failfast, *report)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "vivisect: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// startProfiles begins CPU profiling (when requested) and returns a stop
+// function that finishes the CPU profile and snapshots the heap profile.
+// Profiles are written on normal exit only, matching `go test`'s
+// -cpuprofile/-memprofile behaviour.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // capture the settled live heap, as `go test` does
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // run executes the batch and prints tables (stdout), progress and summary

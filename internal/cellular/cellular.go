@@ -201,11 +201,33 @@ type Cell struct {
 	X, Y    float64 // tower position, metres (duplicated for convenience)
 	TxPower float64 // transmit power, dBm
 	ARFCN   int     // absolute radio frequency channel number (synthetic)
+	// Index is the cell's dense position within its deployment
+	// (topology.Generate assigns 0..N-1 in generation order). Hot paths use
+	// it to address per-cell state as slice slots instead of hashing
+	// GlobalID strings.
+	Index int
+
+	// gid caches the GlobalID string (see CacheGlobalID).
+	gid string
 }
 
 // GlobalID returns a string key unique across technologies, since LTE and NR
-// PCI spaces overlap.
-func (c Cell) GlobalID() string { return fmt.Sprintf("%s-%d", c.Tech, c.PCI) }
+// PCI spaces overlap. The string is formatted once and cached when the cell
+// was built by topology.Generate; hand-built cells fall back to formatting
+// on demand.
+func (c *Cell) GlobalID() string {
+	if c.gid != "" {
+		return c.gid
+	}
+	return formatGlobalID(c.Tech, c.PCI)
+}
+
+// CacheGlobalID precomputes the GlobalID string so later calls are
+// allocation-free reads. It must be called before the cell is shared across
+// goroutines (topology.Generate does this for every cell it creates).
+func (c *Cell) CacheGlobalID() { c.gid = formatGlobalID(c.Tech, c.PCI) }
+
+func formatGlobalID(t Tech, p PCI) string { return fmt.Sprintf("%s-%d", t, p) }
 
 // EventType enumerates the LTE/NR measurement events of Table 4. NR events
 // are distinguished from their LTE counterparts by the Tech field of the

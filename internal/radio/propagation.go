@@ -64,13 +64,32 @@ func FreeSpaceRefLossDB(freqHz float64) float64 {
 	return 20 * math.Log10(4*math.Pi*refDistanceM*freqHz/speedOfLight)
 }
 
+// refLossDB caches FreeSpaceRefLossDB per band class. A band's center
+// frequency is a constant, so recomputing the reference loss for every
+// observation wasted a Log10 (plus the surrounding float ops) in the
+// simulator's per-cell hot path.
+var refLossDB = [...]float64{
+	cellular.BandLow:    FreeSpaceRefLossDB(cellular.BandLow.CenterFrequencyHz()),
+	cellular.BandMid:    FreeSpaceRefLossDB(cellular.BandMid.CenterFrequencyHz()),
+	cellular.BandMMWave: FreeSpaceRefLossDB(cellular.BandMMWave.CenterFrequencyHz()),
+}
+
+// refLossFor returns the cached reference loss for known band classes,
+// computing on the fly for out-of-range values.
+func refLossFor(band cellular.Band) float64 {
+	if band >= 0 && int(band) < len(refLossDB) {
+		return refLossDB[band]
+	}
+	return FreeSpaceRefLossDB(band.CenterFrequencyHz())
+}
+
 // PathLossDB returns the deterministic (median) path loss in dB at distance
 // d metres for the given band.
 func (m *PropagationModel) PathLossDB(band cellular.Band, d float64) float64 {
 	if d < refDistanceM {
 		d = refDistanceM
 	}
-	pl := FreeSpaceRefLossDB(band.CenterFrequencyHz()) + 10*m.PathLossExp*math.Log10(d/refDistanceM)
+	pl := refLossFor(band) + 10*m.PathLossExp*math.Log10(d/refDistanceM)
 	if band == cellular.BandMMWave {
 		pl += m.MMWaveExtraLossDB
 	}

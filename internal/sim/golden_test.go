@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/throughput"
+	"repro/internal/topology"
+)
+
+// update regenerates testdata/golden.json from the current implementation:
+//
+//	go test ./internal/sim -run TestGoldenTraces -update
+//
+// Only do this when a change is *meant* to alter simulator output; the whole
+// point of the file is to pin the byte-level trace encoding across
+// refactors, so every regenerated paper table stays bit-identical.
+var update = flag.Bool("update", false, "rewrite golden trace hashes")
+
+// goldenCase pins one drive configuration; Hash is the SHA-256 of the
+// trace.Log JSONL encoding (samples, reports and handovers included).
+type goldenCase struct {
+	Carrier string        `json:"carrier"`
+	Arch    cellular.Arch `json:"arch"`
+	Route   geo.RouteKind `json:"route"`
+	Seed    int64         `json:"seed"`
+	Hash    string        `json:"sha256"`
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden.json")
+}
+
+// goldenConfig expands a case into the full sim.Config. City drives keep the
+// mmWave layer (denser topology, blockage process active); the freeway keeps
+// it too so the golden set covers every per-cell state process.
+func goldenConfig(c goldenCase, t *testing.T) Config {
+	t.Helper()
+	carrier, err := topology.CarrierByName(c.Carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Carrier:    carrier,
+		Arch:       c.Arch,
+		RouteKind:  c.Route,
+		Seed:       c.Seed,
+		BearerMode: throughput.ModeSplit,
+	}
+	if c.Route == geo.RouteCityLoop {
+		cfg.RouteLengthM = 1600
+		cfg.SpeedMPS = 8
+		cfg.TopoOpts = topology.Options{CityDensity: 0.7}
+	} else {
+		cfg.RouteLengthM = 4000
+		cfg.SpeedMPS = 29
+	}
+	return cfg
+}
+
+// goldenCases enumerates ≥3 seeds × {NSA, SA} × {city, freeway}. NSA runs on
+// OpX (mmWave carrier), SA on OpY (the only SA operator).
+func goldenCases() []goldenCase {
+	var out []goldenCase
+	for _, seed := range []int64{101, 202, 303} {
+		for _, route := range []geo.RouteKind{geo.RouteFreeway, geo.RouteCityLoop} {
+			out = append(out,
+				goldenCase{Carrier: "OpX", Arch: cellular.ArchNSA, Route: route, Seed: seed},
+				goldenCase{Carrier: "OpY", Arch: cellular.ArchSA, Route: route, Seed: seed},
+			)
+		}
+	}
+	return out
+}
+
+// traceHash encodes the log exactly as trace.Log.Write does and hashes it.
+func traceHash(t *testing.T, cfg Config) string {
+	t.Helper()
+	log, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	if err := log.Write(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenTraces asserts that, for fixed seeds, the simulator produces
+// byte-identical trace encodings to the committed golden hashes. RNG draw
+// order is part of the simulator's public behaviour: any reordering of
+// random draws (scan order, lazy state initialisation, scratch reuse)
+// silently changes every regenerated paper number, so perf refactors must
+// keep this test green without -update.
+func TestGoldenTraces(t *testing.T) {
+	cases := goldenCases()
+	if *update {
+		for i := range cases {
+			cases[i].Hash = traceHash(t, goldenConfig(cases[i], t))
+		}
+		buf, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(t), append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", goldenPath(t), len(cases))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath(t))
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cases) {
+		t.Fatalf("golden file has %d cases, test expects %d (regenerate with -update)", len(want), len(cases))
+	}
+	for _, c := range want {
+		c := c
+		t.Run(c.Carrier+"-"+c.Arch.String()+"-"+c.Route.String()+"-"+
+			string(rune('0'+c.Seed/100)), func(t *testing.T) {
+			got := traceHash(t, goldenConfig(c, t))
+			if got != c.Hash {
+				t.Errorf("trace hash drifted:\n  got  %s\n  want %s\n"+
+					"the simulator's output (including RNG draw order) changed", got, c.Hash)
+			}
+		})
+	}
+}

@@ -42,18 +42,34 @@ type state struct {
 
 	grid *cellGrid
 
-	meas    *ue.MeasurementEngine
-	engine  *ran.Engine
-	shadows map[string]*radio.ShadowField
+	meas   *ue.MeasurementEngine
+	engine *ran.Engine
+	// Per-cell processes are addressed by the deployment's state slot
+	// (Deployment.StateSlot) instead of GlobalID-keyed maps: a slice load
+	// replaces a fmt.Sprintf allocation plus a string hash per cell per
+	// tick. Cells sharing a (tech, PCI) identity share a slot, exactly as
+	// they shared a map entry. Slots initialise lazily (nil / !l3Valid) so
+	// creation order — and with it every RNG sub-stream — matches the
+	// map-based implementation.
+	shadows []*radio.ShadowField
 	// l3 holds per-cell L3-filtered RSRP (3GPP layer-3 filtering smooths
 	// fast fading before event evaluation, preventing measurement-noise
-	// ping-pong).
-	l3 map[string]float64
+	// ping-pong); l3Valid marks slots that have seen a first observation.
+	l3      []float64
+	l3Valid []bool
 	// blockage holds the per-mmWave-cell blockage process: abrupt deep
 	// fades from bodies/vehicles/foliage are the defining propagation
 	// behaviour of mmWave links and the trigger behind most of its
 	// handover churn (§4.1's ~2 Gbps throughput drops).
-	blockage map[string]*blockState
+	blockage []*blockState
+
+	// Per-scan observation index: obsGen[i] == scanGen means the cell with
+	// Index i was observed by the most recent scan and its filtered RSRP is
+	// obsRSRP[i]. observed() is a pair of slice loads instead of a linear
+	// walk of the obs slices.
+	scanGen uint64
+	obsGen  []uint64
+	obsRSRP []float64
 
 	lteCell *cellular.Cell
 	nrCell  *cellular.Cell
@@ -73,9 +89,17 @@ type state struct {
 	// scratch per-tick observations per tech.
 	obsLTE []cellObs
 	obsNR  []cellObs
+	// interf is the interferer scratch buffer reused across rrsFor calls;
+	// no caller retains the returned slice beyond one call.
+	interf []float64
+	// scanPoint carries the UE position into visitCell; binding the visitor
+	// once at construction keeps the grid walk closure-allocation-free.
+	scanPoint geo.Point
+	visitCell func(*cellular.Cell)
 }
 
 func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *rand.Rand) *state {
+	slots := dep.StateSlots()
 	s := &state{
 		cfg:      cfg,
 		route:    route,
@@ -83,14 +107,32 @@ func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *ra
 		rng:      rng,
 		prop:     radio.DefaultModel(),
 		grid:     newCellGrid(dep.Cells, 1000),
-		shadows:  make(map[string]*radio.ShadowField),
-		l3:       make(map[string]float64),
-		blockage: make(map[string]*blockState),
+		shadows:  make([]*radio.ShadowField, slots),
+		l3:       make([]float64, slots),
+		l3Valid:  make([]bool, slots),
+		blockage: make([]*blockState, slots),
+		obsGen:   make([]uint64, len(dep.Cells)),
+		obsRSRP:  make([]float64, len(dep.Cells)),
 		log: &trace.Log{
 			Carrier:   cfg.Carrier.Name,
 			Arch:      cfg.Arch,
 			RouteKind: cfg.RouteKind.String(),
 		},
+	}
+	s.visitCell = func(c *cellular.Cell) {
+		p := s.scanPoint
+		d := p.Dist(geo.Point{X: c.X, Y: c.Y})
+		if d > maxRangeM(c.Band) {
+			return
+		}
+		o := cellObs{cell: c, rsrp: s.filter(c, s.observeAt(c, p, d))}
+		s.obsGen[c.Index] = s.scanGen
+		s.obsRSRP[c.Index] = o.rsrp
+		if c.Tech == cellular.TechLTE {
+			s.obsLTE = append(s.obsLTE, o)
+		} else {
+			s.obsNR = append(s.obsNR, o)
+		}
 	}
 	me, err := ue.NewMeasurementEngine(ran.EventConfigsFor(cfg.Carrier.Name, cfg.Arch))
 	if err != nil {
@@ -103,14 +145,14 @@ func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *ra
 
 // shadowFor returns the per-cell correlated shadowing process.
 func (s *state) shadowFor(c *cellular.Cell) *radio.ShadowField {
-	id := c.GlobalID()
-	f, ok := s.shadows[id]
-	if !ok {
+	slot := s.dep.StateSlot(c)
+	f := s.shadows[slot]
+	if f == nil {
 		// Derive a per-cell deterministic sub-seed so drives are
-		// reproducible regardless of map iteration.
+		// reproducible regardless of initialisation order.
 		sub := rand.New(rand.NewSource(s.cfg.Seed ^ int64(c.PCI)<<17 ^ int64(c.TowerID)<<3 ^ int64(c.Tech)))
 		f = s.prop.NewShadowField(sub)
-		s.shadows[id] = f
+		s.shadows[slot] = f
 	}
 	return f
 }
@@ -153,18 +195,23 @@ func (b *blockState) lossAt(now time.Duration) float64 {
 
 // blockFor returns the blockage process of a mmWave cell.
 func (s *state) blockFor(c *cellular.Cell) *blockState {
-	id := c.GlobalID()
-	b, ok := s.blockage[id]
-	if !ok {
+	slot := s.dep.StateSlot(c)
+	b := s.blockage[slot]
+	if b == nil {
 		b = &blockState{rng: rand.New(rand.NewSource(s.cfg.Seed ^ int64(c.PCI)<<23 ^ int64(c.TowerID)<<5 ^ 0x5bd1))}
-		s.blockage[id] = b
+		s.blockage[slot] = b
 	}
 	return b
 }
 
 // observe computes the instantaneous RSRP of a cell at position p.
 func (s *state) observe(c *cellular.Cell, p geo.Point) float64 {
-	d := p.Dist(geo.Point{X: c.X, Y: c.Y})
+	return s.observeAt(c, p, p.Dist(geo.Point{X: c.X, Y: c.Y}))
+}
+
+// observeAt is observe with the UE–cell distance already computed (the scan
+// path needs the distance for range filtering anyway).
+func (s *state) observeAt(c *cellular.Cell, p geo.Point, d float64) float64 {
 	rsrp := s.prop.MedianRSRP(c.Band, c.TxPower, d)
 	rsrp += s.dep.SectorGainDB(c, p)
 	rsrp += s.shadowFor(c).At(s.odo)
@@ -181,14 +228,14 @@ const l3Alpha = 0.25
 
 // filter applies L3 filtering to a raw observation of one cell.
 func (s *state) filter(c *cellular.Cell, raw float64) float64 {
-	id := c.GlobalID()
-	prev, ok := s.l3[id]
-	if !ok {
-		s.l3[id] = raw
+	slot := s.dep.StateSlot(c)
+	if !s.l3Valid[slot] {
+		s.l3Valid[slot] = true
+		s.l3[slot] = raw
 		return raw
 	}
-	v := prev*(1-l3Alpha) + raw*l3Alpha
-	s.l3[id] = v
+	v := s.l3[slot]*(1-l3Alpha) + raw*l3Alpha
+	s.l3[slot] = v
 	return v
 }
 
@@ -196,18 +243,9 @@ func (s *state) filter(c *cellular.Cell, raw float64) float64 {
 func (s *state) scan(p geo.Point) {
 	s.obsLTE = s.obsLTE[:0]
 	s.obsNR = s.obsNR[:0]
-	s.grid.nearby(p, func(c *cellular.Cell) {
-		d := p.Dist(geo.Point{X: c.X, Y: c.Y})
-		if d > maxRangeM(c.Band) {
-			return
-		}
-		o := cellObs{cell: c, rsrp: s.filter(c, s.observe(c, p))}
-		if c.Tech == cellular.TechLTE {
-			s.obsLTE = append(s.obsLTE, o)
-		} else {
-			s.obsNR = append(s.obsNR, o)
-		}
-	})
+	s.scanGen++
+	s.scanPoint = p
+	s.grid.nearby(p, s.visitCell)
 }
 
 // best returns the strongest observation, optionally excluding one cell.
@@ -263,28 +301,37 @@ func addThreshold(band cellular.Band) float64 {
 // the independent release/add legs of an SCG change are decided without
 // end-to-end signal comparison.
 func (s *state) nrCandidate() (cellObs, bool) {
-	for _, band := range []cellular.Band{cellular.BandMMWave, cellular.BandMid, cellular.BandLow} {
-		for _, o := range s.obsNR {
-			if o.cell.Band != band || o.cell == s.nrCell {
-				continue
-			}
-			if o.rsrp > addThreshold(band) {
-				return o, true
-			}
+	// One pass over the observations records the first adequate cell per
+	// band (the seed implementation re-walked the slice once per band);
+	// selection is unchanged: highest-priority band wins, first adequate
+	// cell in scan order within it.
+	var cand [3]cellObs
+	var have [3]bool
+	for _, o := range s.obsNR {
+		b := o.cell.Band
+		if int(b) >= len(have) || have[b] || o.cell == s.nrCell {
+			continue
+		}
+		if o.rsrp > addThreshold(b) {
+			cand[b] = o
+			have[b] = true
+		}
+	}
+	for _, band := range [...]cellular.Band{cellular.BandMMWave, cellular.BandMid, cellular.BandLow} {
+		if have[band] {
+			return cand[band], true
 		}
 	}
 	return cellObs{}, false
 }
 
 // lookup finds the cell matching a technology and PCI nearest to p (PCIs
-// wrap spatially, as in real deployments).
+// wrap spatially, as in real deployments). The deployment's (tech, PCI)
+// index narrows the scan to the few cells sharing the identity.
 func (s *state) lookup(tech cellular.Tech, pci cellular.PCI, p geo.Point) *cellular.Cell {
 	var bst *cellular.Cell
 	bd := math.MaxFloat64
-	for _, c := range s.dep.Cells {
-		if c.Tech != tech || c.PCI != pci {
-			continue
-		}
+	for _, c := range s.dep.CellsWithPCI(tech, pci) {
 		d := p.Dist(geo.Point{X: c.X, Y: c.Y})
 		if d < bd {
 			bd = d
@@ -294,21 +341,16 @@ func (s *state) lookup(tech cellular.Tech, pci cellular.PCI, p geo.Point) *cellu
 	return bst
 }
 
-// observed returns the current-tick RSRP of a specific cell, recomputing if
-// it was out of scan range.
+// observed returns the RSRP of a specific cell as of the most recent scan,
+// recomputing if it was out of scan range. (Between applyPending and the
+// tick's scan this intentionally serves the previous tick's observation,
+// exactly like the obs-slice walk it replaces.)
 func (s *state) observed(c *cellular.Cell, p geo.Point) float64 {
 	if c == nil {
 		return -200
 	}
-	for _, o := range s.obsLTE {
-		if o.cell == c {
-			return o.rsrp
-		}
-	}
-	for _, o := range s.obsNR {
-		if o.cell == c {
-			return o.rsrp
-		}
+	if s.obsGen[c.Index] == s.scanGen {
+		return s.obsRSRP[c.Index]
 	}
 	return s.observe(c, p)
 }
@@ -439,12 +481,14 @@ func (s *state) rrsFor(c *cellular.Cell, rsrp float64) cellular.RRS {
 }
 
 // interferers collects co-layer cells within 20 dB of the serving RSRP.
+// The returned slice aliases a scratch buffer that the next call reuses;
+// callers must consume it before calling again (rrsFor does).
 func (s *state) interferers(c *cellular.Cell, servingRSRP float64) []float64 {
 	obs := s.obsLTE
 	if c.Tech == cellular.TechNR {
 		obs = s.obsNR
 	}
-	var out []float64
+	out := s.interf[:0]
 	for _, o := range obs {
 		if o.cell == c || o.cell.Band != c.Band {
 			continue
@@ -453,6 +497,7 @@ func (s *state) interferers(c *cellular.Cell, servingRSRP float64) []float64 {
 			out = append(out, o.rsrp)
 		}
 	}
+	s.interf = out
 	return out
 }
 

@@ -149,17 +149,35 @@ type Deployment struct {
 	Cells   []*cellular.Cell
 	// byLayer indexes cells by technology and band.
 	byLayer map[layerKey][]*cellular.Cell
-	// azimuth stores each cell's boresight direction (radians) keyed by
-	// GlobalID; sectored antennas give neighbouring sectors of one tower
-	// distinct coverage lobes.
-	azimuth map[string]float64
-	// beamwidth (radians, 3 dB) per cell.
-	beamwidth map[string]float64
+	// byID groups cells by (tech, PCI) identity, in generation order, for
+	// O(1) PCI resolution (PCIs repeat spatially, so a group can hold more
+	// than one cell).
+	byID map[idKey][]*cellular.Cell
+	// slotByCell maps Cell.Index to the cell's state slot. Cells sharing a
+	// (tech, PCI) identity — co-located gNBs borrowing an eNB PCI block can
+	// collide — share one slot, preserving the aliasing semantics of the
+	// GlobalID-keyed maps this scheme replaces.
+	slotByCell []int32
+	slots      int
+	// azimuth stores each slot's boresight direction (radians); sectored
+	// antennas give neighbouring sectors of one tower distinct coverage
+	// lobes. Like the former GlobalID-keyed map, the last generated cell of
+	// a shared slot wins.
+	azimuth []float64
+	// beamwidth (radians, 3 dB) per slot.
+	beamwidth []float64
 }
 
 type layerKey struct {
 	tech cellular.Tech
 	band cellular.Band
+}
+
+// idKey is a cell's (tech, PCI) identity — the typed equivalent of the
+// GlobalID string.
+type idKey struct {
+	tech cellular.Tech
+	pci  cellular.PCI
 }
 
 // Options tunes deployment generation.
@@ -195,11 +213,10 @@ func (o Options) withDefaults() Options {
 func Generate(carrier CarrierProfile, route *geo.Polyline, rng *rand.Rand, opts Options) *Deployment {
 	opts = opts.withDefaults()
 	d := &Deployment{
-		Carrier:   carrier,
-		Route:     route,
-		byLayer:   make(map[layerKey][]*cellular.Cell),
-		azimuth:   make(map[string]float64),
-		beamwidth: make(map[string]float64),
+		Carrier: carrier,
+		Route:   route,
+		byLayer: make(map[layerKey][]*cellular.Cell),
+		byID:    make(map[idKey][]*cellular.Cell),
 	}
 	nextLTEPCI := cellular.PCI(1)
 	// NR PCIs start above the LTE range (0-503) so a co-located gNB can
@@ -280,6 +297,8 @@ func (d *Deployment) genLayer(layer Layer, rng *rand.Rand, opts Options, towerID
 				TxPower: layer.TxPowerDBm,
 				ARFCN:   arfcnFor(layer.Band),
 			}
+			c.Index = len(d.Cells)
+			c.CacheGlobalID()
 			t.Cells = append(t.Cells, c)
 			d.Cells = append(d.Cells, c)
 			k := layerKey{layer.Tech, layer.Band}
@@ -288,8 +307,22 @@ func (d *Deployment) genLayer(layer Layer, rng *rand.Rand, opts Options, towerID
 			// up/down the route so consecutive road segments belong to
 			// different sectors, enabling intra-tower handovers.
 			az := math.Atan2(heading.Y, heading.X) + float64(sec)*2*math.Pi/float64(layer.Sectors)
-			d.azimuth[c.GlobalID()] = az
-			d.beamwidth[c.GlobalID()] = 2 * math.Pi / float64(layer.Sectors) * 0.8
+			bw := 2 * math.Pi / float64(layer.Sectors) * 0.8
+			id := idKey{c.Tech, c.PCI}
+			group := d.byID[id]
+			var slot int32
+			if len(group) == 0 {
+				slot = int32(d.slots)
+				d.slots++
+				d.azimuth = append(d.azimuth, az)
+				d.beamwidth = append(d.beamwidth, bw)
+			} else {
+				slot = d.slotByCell[group[0].Index]
+				d.azimuth[slot] = az
+				d.beamwidth[slot] = bw
+			}
+			d.byID[id] = append(group, c)
+			d.slotByCell = append(d.slotByCell, slot)
 		}
 		d.Towers = append(d.Towers, t)
 		made = append(made, t)
@@ -342,15 +375,36 @@ func (d *Deployment) Bands(tech cellular.Tech) []cellular.Band {
 	return out
 }
 
+// StateSlots returns the number of per-cell state slots in the deployment:
+// one per distinct (tech, PCI) identity. Simulators size their per-cell
+// process tables (shadowing, blockage, L3 filters) by this.
+func (d *Deployment) StateSlots() int { return d.slots }
+
+// StateSlot returns the state slot of a cell belonging to this deployment.
+// Cells sharing a (tech, PCI) identity share a slot.
+func (d *Deployment) StateSlot(c *cellular.Cell) int { return int(d.slotByCell[c.Index]) }
+
+// CellsWithPCI returns the cells matching a (tech, PCI) identity in
+// generation order, or nil if none exist. Callers disambiguate spatially
+// repeated PCIs by distance.
+func (d *Deployment) CellsWithPCI(tech cellular.Tech, pci cellular.PCI) []*cellular.Cell {
+	return d.byID[idKey{tech, pci}]
+}
+
 // SectorGainDB returns the directional antenna gain (dB, <= 0) of the cell
 // toward the UE at position p, using a parabolic pattern with a 20 dB
-// back-lobe floor. Omnidirectional single-sector cells return 0.
+// back-lobe floor. Omnidirectional single-sector cells (and cells foreign
+// to the deployment) return 0.
 func (d *Deployment) SectorGainDB(c *cellular.Cell, p geo.Point) float64 {
-	bw, ok := d.beamwidth[c.GlobalID()]
-	if !ok || bw >= 2*math.Pi*0.99 {
+	if c.Index < 0 || c.Index >= len(d.slotByCell) || d.Cells[c.Index] != c {
 		return 0
 	}
-	az := d.azimuth[c.GlobalID()]
+	slot := d.slotByCell[c.Index]
+	bw := d.beamwidth[slot]
+	if bw >= 2*math.Pi*0.99 {
+		return 0
+	}
+	az := d.azimuth[slot]
 	toUE := math.Atan2(p.Y-c.Y, p.X-c.X)
 	delta := math.Abs(angleDiff(toUE, az))
 	g := -12 * (delta / (bw / 2)) * (delta / (bw / 2))

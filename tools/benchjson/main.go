@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a stable JSON document on stdout, so benchmark runs can be committed
+// and diffed (`make bench-json` writes BENCH_<utc-date>.json).
+//
+// For every benchmark line it records ns/op, B/op, allocs/op, and any
+// extra metrics reported via b.ReportMetric (e.g. HO/km, F1). Context
+// lines (goos/goarch/pkg/cpu) are carried into the envelope.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result holds one benchmark's parsed measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"b_per_op"`
+	AllocsPerO float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the envelope written to stdout.
+type File struct {
+	DateUTC    string            `json:"date_utc"`
+	GoVersion  string            `json:"go_version"`
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	out := File{
+		DateUTC:    time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		Context:    map[string]string{},
+		Benchmarks: map[string]Result{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			out.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, err := parseBenchLine(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+				continue
+			}
+			out.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one testing benchmark result line:
+//
+//	BenchmarkName-8  12  97819667 ns/op  3.600 HO/km  9280474 B/op  1466 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the name; value/unit pairs
+// beyond the standard three land in Metrics.
+func parseBenchLine(line string) (string, Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, fmt.Errorf("too few fields")
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerO = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return name, res, nil
+}
