@@ -1,6 +1,6 @@
 # Development targets; CI runs `make check race`.
 
-.PHONY: check race test bench bench-json
+.PHONY: check race test bench bench-json loadtest
 
 # Static gate: vet, formatting, and a full build.
 check:
@@ -22,11 +22,22 @@ test:
 bench:
 	go test -bench=. -benchmem
 
-# Perf trajectory tracking: run the substrate micro-benchmarks and commit
-# the result as BENCH_<utc-date>.json (see docs/ARCHITECTURE.md §Performance
-# for how to read and compare the files).
+# Serving-path smoke fleet: a short open-loop run under the race detector
+# against an in-process server. Fails (exit 1) on any session error.
+loadtest:
+	go run -race ./cmd/prognosload -selfserve -ues 64 -duration 10s \
+		-mode open -ramp 1s
+
+# Perf trajectory tracking: run the substrate micro-benchmarks plus a
+# serving-path smoke fleet and commit the result as BENCH_<utc-date>.json
+# (see docs/ARCHITECTURE.md §Performance for how to read and compare the
+# files). The fleet report is merged into the envelope under "fleet".
 BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPatternMatch)$$
+FLEET_REPORT ?= /tmp/benchjson-fleet.json
 bench-json:
+	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode open \
+		-ramp 1s -report $(FLEET_REPORT)
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
-		| go run ./tools/benchjson > BENCH_$$(date -u +%Y-%m-%d).json
+		| go run ./tools/benchjson -fleet $(FLEET_REPORT) \
+		> BENCH_$$(date -u +%Y-%m-%d).json
 	@ls BENCH_$$(date -u +%Y-%m-%d).json

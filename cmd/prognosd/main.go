@@ -6,16 +6,25 @@
 // every sample with a prediction line carrying the expected handover type
 // and its ho_score.
 //
+// Hardening: -max-sessions bounds concurrent prediction sessions (extra
+// sessions receive a structured {"error":...} line and are closed),
+// -session-timeout expires idle or stuck sessions, and on SIGINT/SIGTERM
+// the daemon drains gracefully — it stops accepting immediately and gives
+// in-flight sessions up to -drain-timeout to finish before cutting them.
+//
 // Run metrics: a client that sends {"stats":true} as its hello receives a
 // one-line JSON snapshot (sessions, streamed observations, predictions,
-// uptime) and the connection closes — the hook dashboards poll. The same
-// snapshot is printed at -stats-interval (when set) and at shutdown.
+// error counters, uptime) and the connection closes — the hook dashboards
+// poll. The same snapshot is printed at -stats-interval (when set) and at
+// shutdown.
 //
 // Usage:
 //
 //	prognosd [-addr 127.0.0.1:7015] [-stats-interval 30s]
+//	         [-max-sessions 0] [-session-timeout 0] [-drain-timeout 10s]
 //
-// Try it against a simulated drive with examples/livepredict.
+// Try it against a simulated drive with examples/livepredict, or load it
+// with a synthetic UE fleet via cmd/prognosload.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -32,9 +42,15 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7015", "listen address")
 	statsEvery := flag.Duration("stats-interval", 0, "print a stats snapshot at this interval (0 = off)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent prediction sessions (0 = unlimited)")
+	sessionTimeout := flag.Duration("session-timeout", 0, "per-session read/write deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget for in-flight sessions at shutdown")
 	flag.Parse()
 
-	srv, err := server.Listen(*addr)
+	srv, err := server.ListenWith(*addr, server.Options{
+		MaxSessions:    *maxSessions,
+		SessionTimeout: *sessionTimeout,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
 		os.Exit(1)
@@ -58,12 +74,14 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
 	close(stop)
-	fmt.Println("prognosd: shutting down")
+	fmt.Printf("prognosd: %v received, draining (up to %v)\n", s, *drainTimeout)
+	if err := srv.Drain(*drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
+	}
 	printStats(srv)
-	srv.Close()
 }
 
 // printStats writes one JSON snapshot line to stdout.

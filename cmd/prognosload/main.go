@@ -1,0 +1,122 @@
+// Command prognosload drives a UE fleet against a Prognos server and
+// reports serving latency and throughput (internal/fleet).
+//
+// Each of the -ues synthetic UEs replays an independent simulated drive
+// (per-UE seed) through the real client protocol. In -mode open every UE
+// paces its samples at the paper's fixed 20 Hz and the histogram measures
+// how late predictions come back relative to the schedule (queueing); in
+// -mode closed every UE streams as fast as the round trip allows and the
+// run measures capacity.
+//
+// Usage:
+//
+//	prognosload [-addr 127.0.0.1:7015 | -selfserve] [-ues 64]
+//	            [-duration 10s] [-mode open|closed] [-carrier OpX]
+//	            [-arch NSA] [-route freeway] [-seed 1] [-ramp 1s]
+//	            [-report fleet.json]
+//
+// The text summary goes to stdout; -report writes the machine-readable
+// fleet report (tools/benchjson -fleet merges it into BENCH_<date>.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/fleet"
+	"repro/internal/geo"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7015", "Prognos server to load")
+	selfServe := flag.Bool("selfserve", false, "start an in-process server instead of dialing -addr")
+	ues := flag.Int("ues", 64, "fleet size (concurrent synthetic UEs)")
+	duration := flag.Duration("duration", 10*time.Second, "per-UE streaming duration")
+	mode := flag.String("mode", "open", "load mode: open (20 Hz pacing) or closed (max rate)")
+	carrier := flag.String("carrier", "OpX", "carrier profile (OpX/OpY/OpZ)")
+	archName := flag.String("arch", "NSA", "architecture (LTE/NSA/SA)")
+	routeName := flag.String("route", "freeway", "drive route kind (freeway/city-loop)")
+	seed := flag.Int64("seed", 1, "fleet seed; UE i drives seed+i*7919+1")
+	ramp := flag.Duration("ramp", time.Second, "window over which session starts are staggered")
+	reportPath := flag.String("report", "", "write the machine-readable fleet report JSON here")
+	flag.Parse()
+
+	m, err := fleet.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	arch, err := cellular.ParseArch(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	route, err := geo.ParseRouteKind(*routeName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := fleet.Config{
+		Addr:     *addr,
+		UEs:      *ues,
+		Duration: *duration,
+		Mode:     m,
+		Carrier:  *carrier,
+		Arch:     arch,
+		Route:    route,
+		Seed:     *seed,
+		Ramp:     *ramp,
+	}
+	if *selfServe {
+		cfg.Addr = ""
+		cfg.Server = server.Options{}
+	}
+
+	fmt.Printf("prognosload: %d UEs × %v, %s loop, %s/%s on %s\n",
+		cfg.UEs, cfg.Duration, m, cfg.Carrier, arch, route)
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("generated %d drives in %.1fs; load phase %.1fs\n",
+		rep.UEs, rep.GenMS/1000, rep.WallMS/1000)
+	fmt.Printf("samples %d  predictions %d  reports %d  handovers %d\n",
+		rep.Samples, rep.Predictions, rep.Reports, rep.Handovers)
+	fmt.Printf("throughput %.0f predictions/s\n", rep.PredictionsPerSec)
+	l := rep.Latency
+	fmt.Printf("latency µs: p50 %.0f  p90 %.0f  p99 %.0f  p999 %.0f  max %.0f (n=%d)\n",
+		l.P50US, l.P90US, l.P99US, l.P999US, l.MaxUS, l.Count)
+	if rep.Server != nil {
+		fmt.Printf("server: sessions %d  rejected %d  session errors %d  oversized %d\n",
+			rep.Server.Sessions, rep.Server.Rejected, rep.Server.SessionErrors, rep.Server.Oversized)
+	}
+	if rep.FailedUEs > 0 {
+		fmt.Printf("FAILED UEs: %d\n", rep.FailedUEs)
+		for _, e := range rep.Errors {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	if *reportPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*reportPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+	}
+	if rep.FailedUEs > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "prognosload: %v\n", err)
+	os.Exit(1)
+}

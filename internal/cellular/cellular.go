@@ -64,6 +64,20 @@ func (a Arch) String() string {
 	}
 }
 
+// ParseArch is the inverse of Arch.String, for command-line flags.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "LTE":
+		return ArchLTE, nil
+	case "NSA":
+		return ArchNSA, nil
+	case "SA":
+		return ArchSA, nil
+	default:
+		return 0, fmt.Errorf("cellular: unknown architecture %q (want LTE, NSA or SA)", s)
+	}
+}
+
 // Band is a coarse radio frequency band class. The paper's findings are
 // organised around these three 5G-NR classes plus the 4G low/mid bands.
 type Band int

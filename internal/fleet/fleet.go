@@ -1,0 +1,473 @@
+// Package fleet is the UE-fleet load-generation subsystem: it spins up N
+// concurrent synthetic UEs, each replaying an independent simulated drive
+// (internal/sim with a per-UE seed) through the real server.Client
+// protocol, and measures the serving path the way the paper's deployment
+// sketch would be measured in production — per-sample prediction latency
+// into a log-bucketed histogram (internal/metrics.Histogram) plus a
+// machine-readable Report.
+//
+// Two load modes mirror the two questions one asks of a serving stack:
+//
+//   - ModeOpen paces every UE at the paper's fixed 20 Hz sample rate and
+//     measures latency from each sample's *scheduled* send time, so server
+//     queueing (and coordinated omission) shows up in the tail instead of
+//     silently shifting the send schedule.
+//   - ModeClosed sends as fast as the round trip allows and measures
+//     capacity: how many predictions per second the server sustains.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Mode selects how UEs pace their sample stream.
+type Mode int
+
+const (
+	// ModeOpen is fixed 20 Hz pacing per UE (measures queueing).
+	ModeOpen Mode = iota
+	// ModeClosed is as-fast-as-possible round trips (measures capacity).
+	ModeClosed
+)
+
+// String returns the mode name used in flags and reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeOpen:
+		return "open"
+	case ModeClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode is the inverse of Mode.String, for command-line flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "open":
+		return ModeOpen, nil
+	case "closed":
+		return ModeClosed, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown mode %q (want open or closed)", s)
+	}
+}
+
+// Config describes one fleet run.
+type Config struct {
+	// Addr is the Prognos server to load. Empty starts an in-process
+	// server (with Server options) on a loopback port for the run —
+	// the self-contained shape `make loadtest` uses.
+	Addr string
+	// UEs is the fleet size (default 8).
+	UEs int
+	// Duration is how long each UE streams (default 10s).
+	Duration time.Duration
+	// Mode picks open- or closed-loop pacing.
+	Mode Mode
+	// Carrier ("OpX"/"OpY"/"OpZ", default "OpX") and Arch (default NSA)
+	// shape the drives and the per-session Prognos instances.
+	Carrier string
+	Arch    cellular.Arch
+	// Route selects the drive route kind (default freeway); SpeedMPS the
+	// travel speed (default 29 ≈ 105 km/h).
+	Route    geo.RouteKind
+	SpeedMPS float64
+	// Seed makes the whole fleet deterministic: UE i drives the trace of
+	// seed Seed + i*7919 + 1.
+	Seed int64
+	// Ramp staggers session starts uniformly across this window so a
+	// large fleet does not arrive as a thundering herd (default 0: all
+	// UEs start at once).
+	Ramp time.Duration
+	// Server configures the in-process server when Addr is empty.
+	Server server.Options
+}
+
+// withDefaults fills the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.UEs <= 0 {
+		c.UEs = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Carrier == "" {
+		c.Carrier = "OpX"
+		if c.Arch == 0 { // ArchLTE zero value: default the pair to OpX/NSA
+			c.Arch = cellular.ArchNSA
+		}
+	}
+	if c.SpeedMPS <= 0 {
+		c.SpeedMPS = 29
+	}
+	return c
+}
+
+// ueSeed derives UE i's drive seed from the fleet seed.
+func (c Config) ueSeed(i int) int64 { return c.Seed + int64(i)*7919 + 1 }
+
+// routeLengthM sizes each UE's route so an open-loop run of Duration never
+// wraps, within the simulator's bounds.
+func (c Config) routeLengthM() float64 {
+	m := c.SpeedMPS*c.Duration.Seconds()*1.1 + 200
+	if m < 1000 {
+		m = 1000
+	}
+	if m > 25000 {
+		m = 25000
+	}
+	return m
+}
+
+// Report is the machine-readable result of a fleet run: the run
+// configuration, aggregate stream counters, the latency histogram, and
+// (when reachable) the server's own snapshot for cross-checking.
+type Report struct {
+	// UEs..Ramp echo the configuration the run used.
+	UEs        int     `json:"ues"`
+	Mode       string  `json:"mode"`
+	Carrier    string  `json:"carrier"`
+	Arch       string  `json:"arch"`
+	Route      string  `json:"route"`
+	Seed       int64   `json:"seed"`
+	DurationMS float64 `json:"duration_ms"`
+	RampMS     float64 `json:"ramp_ms,omitempty"`
+	// GenMS is the wall time spent generating the fleet's drive traces
+	// (before any load was applied); WallMS the wall time of the load
+	// phase itself.
+	GenMS  float64 `json:"gen_ms"`
+	WallMS float64 `json:"wall_ms"`
+	// Samples counts radio samples sent, Predictions the prediction lines
+	// read back; Reports/Handovers are the one-way control-plane records
+	// interleaved into the streams.
+	Samples     int64 `json:"samples"`
+	Predictions int64 `json:"predictions"`
+	Reports     int64 `json:"reports"`
+	Handovers   int64 `json:"handovers"`
+	// FailedUEs counts UEs whose session ended in error; Errors lists up
+	// to eight distinct error messages for diagnosis.
+	FailedUEs int      `json:"failed_ues"`
+	Errors    []string `json:"errors,omitempty"`
+	// PredictionsPerSec is the fleet-wide serving throughput over the
+	// load phase.
+	PredictionsPerSec float64 `json:"predictions_per_sec"`
+	// Latency is the per-sample prediction latency histogram. In open
+	// loop it is measured from each sample's scheduled send time; in
+	// closed loop it is the blocking round-trip time.
+	Latency metrics.LatencySnapshot `json:"latency"`
+	// Server is the served instance's own snapshot (always present for
+	// self-serve runs; best-effort via the stats endpoint otherwise).
+	Server *metrics.ServerSnapshot `json:"server,omitempty"`
+}
+
+// replay cycles one drive log as an endless, time-monotone stream: when
+// the trace runs out it restarts with all timestamps shifted past the
+// previous pass, exactly like trace.Merge chains logs.
+type replay struct {
+	log       *trace.Log
+	i, ri, hi int
+	tOff      time.Duration
+}
+
+// step returns the next sample (time-shifted) plus the index bounds of the
+// control records due at or before it; the caller shifts their times by
+// off when sending.
+func (r *replay) step() (smp trace.Sample, reports []cellular.MeasurementReport, hos []cellular.HandoverEvent, off time.Duration) {
+	if r.i >= len(r.log.Samples) {
+		r.tOff += r.log.Duration() + trace.SamplePeriod
+		r.i, r.ri, r.hi = 0, 0, 0
+	}
+	base := r.log.Samples[r.i]
+	r.i++
+	r0 := r.ri
+	for r.ri < len(r.log.Reports) && r.log.Reports[r.ri].Time <= base.Time {
+		r.ri++
+	}
+	h0 := r.hi
+	for r.hi < len(r.log.Handovers) && r.log.Handovers[r.hi].Time <= base.Time {
+		r.hi++
+	}
+	smp = base
+	smp.Time += r.tOff
+	return smp, r.log.Reports[r0:r.ri], r.log.Handovers[h0:r.hi], r.tOff
+}
+
+// counters aggregates the fleet-wide stream totals.
+type counters struct {
+	samples     atomic.Int64
+	predictions atomic.Int64
+	reports     atomic.Int64
+	handovers   atomic.Int64
+}
+
+// Run executes one fleet load-generation run and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	carrier, err := topology.CarrierByName(cfg.Carrier)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if !carrier.Has(cfg.Arch) {
+		return nil, fmt.Errorf("fleet: carrier %s does not offer %s", carrier.Name, cfg.Arch)
+	}
+
+	addr := cfg.Addr
+	var selfServe *server.Server
+	if addr == "" {
+		selfServe, err = server.ListenWith("127.0.0.1:0", cfg.Server)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: self-serve: %w", err)
+		}
+		defer selfServe.Close()
+		addr = selfServe.Addr()
+	}
+
+	// Phase 1: generate every UE's drive up front (bounded parallelism),
+	// so trace generation cost never pollutes the latency measurements.
+	genStart := time.Now()
+	logs := make([]*trace.Log, cfg.UEs)
+	genErrs := make([]error, cfg.UEs)
+	var wg sync.WaitGroup
+	genSlots := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < cfg.UEs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			genSlots <- struct{}{}
+			defer func() { <-genSlots }()
+			logs[i], genErrs[i] = sim.Run(sim.Config{
+				Carrier:      carrier,
+				Arch:         cfg.Arch,
+				RouteKind:    cfg.Route,
+				RouteLengthM: cfg.routeLengthM(),
+				SpeedMPS:     cfg.SpeedMPS,
+				Seed:         cfg.ueSeed(i),
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range genErrs {
+		if err != nil {
+			return nil, fmt.Errorf("fleet: generating UE %d drive: %w", i, err)
+		}
+		if len(logs[i].Samples) == 0 {
+			return nil, fmt.Errorf("fleet: UE %d drive produced no samples", i)
+		}
+	}
+	genWall := time.Since(genStart)
+
+	// Phase 2: apply the load.
+	var (
+		hist  metrics.Histogram
+		tot   counters
+		errMu sync.Mutex
+		errs  []string
+	)
+	failed := atomic.Int64{}
+	recordErr := func(err error) {
+		failed.Add(1)
+		errMu.Lock()
+		defer errMu.Unlock()
+		msg := err.Error()
+		for _, e := range errs {
+			if e == msg {
+				return
+			}
+		}
+		if len(errs) < 8 {
+			errs = append(errs, msg)
+		}
+	}
+
+	loadStart := time.Now()
+	for i := 0; i < cfg.UEs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if cfg.Ramp > 0 && cfg.UEs > 1 {
+				time.Sleep(cfg.Ramp * time.Duration(i) / time.Duration(cfg.UEs))
+			}
+			ue := &ueRunner{
+				cfg:    cfg,
+				addr:   addr,
+				replay: replay{log: logs[i]},
+				hist:   &hist,
+				tot:    &tot,
+			}
+			if err := ue.run(); err != nil {
+				recordErr(fmt.Errorf("ue %d: %w", i, err))
+			}
+		}(i)
+	}
+	wg.Wait()
+	loadWall := time.Since(loadStart)
+
+	rep := &Report{
+		UEs:        cfg.UEs,
+		Mode:       cfg.Mode.String(),
+		Carrier:    cfg.Carrier,
+		Arch:       cfg.Arch.String(),
+		Route:      cfg.Route.String(),
+		Seed:       cfg.Seed,
+		DurationMS: float64(cfg.Duration) / float64(time.Millisecond),
+		RampMS:     float64(cfg.Ramp) / float64(time.Millisecond),
+		GenMS:      float64(genWall) / float64(time.Millisecond),
+		WallMS:     float64(loadWall) / float64(time.Millisecond),
+
+		Samples:     tot.samples.Load(),
+		Predictions: tot.predictions.Load(),
+		Reports:     tot.reports.Load(),
+		Handovers:   tot.handovers.Load(),
+		FailedUEs:   int(failed.Load()),
+		Errors:      errs,
+		Latency:     hist.Snapshot(),
+	}
+	sort.Strings(rep.Errors)
+	if secs := loadWall.Seconds(); secs > 0 {
+		rep.PredictionsPerSec = float64(rep.Predictions) / secs
+	}
+	if selfServe != nil {
+		snap := selfServe.Stats()
+		rep.Server = &snap
+	} else if snap, err := server.FetchStats(addr); err == nil {
+		rep.Server = &snap
+	}
+	return rep, nil
+}
+
+// ueRunner is one synthetic UE's session state.
+type ueRunner struct {
+	cfg    Config
+	addr   string
+	replay replay
+	hist   *metrics.Histogram
+	tot    *counters
+}
+
+// run dials the server and streams the UE's drive for cfg.Duration.
+func (u *ueRunner) run() error {
+	client, err := server.Dial(u.addr, server.Hello{Carrier: u.cfg.Carrier, Arch: u.cfg.Arch})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if u.cfg.Mode == ModeClosed {
+		return u.runClosed(client)
+	}
+	return u.runOpen(client)
+}
+
+// sendControl streams the control-plane records due before a sample.
+func (u *ueRunner) sendControl(client *server.Client, reports []cellular.MeasurementReport, hos []cellular.HandoverEvent, off time.Duration) error {
+	for _, mr := range reports {
+		mr.Time += off
+		if err := client.SendReport(mr); err != nil {
+			return err
+		}
+		u.tot.reports.Add(1)
+	}
+	for _, ho := range hos {
+		ho.Time += off
+		if err := client.SendHandover(ho); err != nil {
+			return err
+		}
+		u.tot.handovers.Add(1)
+	}
+	return nil
+}
+
+// runClosed measures capacity: blocking round trips, back to back.
+func (u *ueRunner) runClosed(client *server.Client) error {
+	deadline := time.Now().Add(u.cfg.Duration)
+	for time.Now().Before(deadline) {
+		smp, reports, hos, off := u.replay.step()
+		if err := u.sendControl(client, reports, hos, off); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if _, err := client.SendSample(smp); err != nil {
+			return err
+		}
+		u.hist.Observe(time.Since(t0))
+		u.tot.samples.Add(1)
+		u.tot.predictions.Add(1)
+	}
+	return nil
+}
+
+// runOpen measures queueing: a writer goroutine keeps the fixed 20 Hz
+// schedule no matter how the server is doing, while the reader matches
+// every prediction to its sample's *scheduled* send time — late responses
+// therefore accumulate in the histogram tail rather than stretching the
+// send schedule (no coordinated omission).
+func (u *ueRunner) runOpen(client *server.Client) error {
+	n := int(u.cfg.Duration / trace.SamplePeriod)
+	if n < 1 {
+		n = 1
+	}
+	sendTimes := make(chan time.Time, n)
+	var writeErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(sendTimes)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			due := start.Add(time.Duration(i) * trace.SamplePeriod)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			smp, reports, hos, off := u.replay.step()
+			if err := u.sendControl(client, reports, hos, off); err != nil {
+				writeErr = err
+				return
+			}
+			if err := client.SendSampleAsync(smp); err != nil {
+				writeErr = err
+				return
+			}
+			u.tot.samples.Add(1)
+			sendTimes <- due
+		}
+		// Half-close so the server finishes the session cleanly and the
+		// reader sees every in-flight prediction before EOF.
+		if err := client.CloseWrite(); err != nil {
+			writeErr = err
+		}
+	}()
+
+	var readErr error
+	for t0 := range sendTimes {
+		if readErr != nil {
+			continue // drain so the writer's channel sends never block
+		}
+		if _, err := client.ReadResponse(); err != nil {
+			readErr = err
+			client.Close() // unblock the writer
+			continue
+		}
+		u.hist.Observe(time.Since(t0))
+		u.tot.predictions.Add(1)
+	}
+	wg.Wait()
+	if readErr != nil {
+		return readErr
+	}
+	return writeErr
+}

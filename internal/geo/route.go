@@ -32,6 +32,19 @@ func (k RouteKind) String() string {
 	}
 }
 
+// ParseRouteKind is the inverse of RouteKind.String, for command-line
+// flags ("city" is accepted as shorthand for "city-loop").
+func ParseRouteKind(s string) (RouteKind, error) {
+	switch s {
+	case "freeway":
+		return RouteFreeway, nil
+	case "city-loop", "city":
+		return RouteCityLoop, nil
+	default:
+		return 0, fmt.Errorf("geo: unknown route kind %q (want freeway or city-loop)", s)
+	}
+}
+
 // GenFreeway generates a freeway route of approximately length metres. The
 // route heads east with smooth random heading drift, producing the gentle
 // curvature of an inter-state drive. rng must be non-nil.

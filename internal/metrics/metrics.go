@@ -147,13 +147,16 @@ func (p *Probe) HOEvents() int64 { return p.hoEvents.Load() }
 // sessions served, observations streamed, predictions returned. All
 // methods are safe for concurrent sessions.
 type ServerStats struct {
-	start       time.Time
-	sessions    atomic.Int64
-	active      atomic.Int64
-	samples     atomic.Int64
-	reports     atomic.Int64
-	handovers   atomic.Int64
-	predictions atomic.Int64
+	start         time.Time
+	sessions      atomic.Int64
+	active        atomic.Int64
+	samples       atomic.Int64
+	reports       atomic.Int64
+	handovers     atomic.Int64
+	predictions   atomic.Int64
+	rejected      atomic.Int64
+	sessionErrors atomic.Int64
+	oversized     atomic.Int64
 }
 
 // NewServerStats returns a stats block with the uptime clock started.
@@ -182,16 +185,29 @@ func (s *ServerStats) AddHandover() { s.handovers.Add(1) }
 // AddPrediction records one prediction returned to a client.
 func (s *ServerStats) AddPrediction() { s.predictions.Add(1) }
 
+// SessionRejected records a session turned away at the concurrency limit.
+func (s *ServerStats) SessionRejected() { s.rejected.Add(1) }
+
+// SessionError records a session that ended with an error (bad hello,
+// malformed record, deadline expiry, oversized input, ...).
+func (s *ServerStats) SessionError() { s.sessionErrors.Add(1) }
+
+// AddOversized records one input record that exceeded the line limit.
+func (s *ServerStats) AddOversized() { s.oversized.Add(1) }
+
 // Snapshot returns a consistent-enough copy of the counters for export.
 func (s *ServerStats) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
-		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
-		Sessions:    s.sessions.Load(),
-		Active:      s.active.Load(),
-		Samples:     s.samples.Load(),
-		Reports:     s.reports.Load(),
-		Handovers:   s.handovers.Load(),
-		Predictions: s.predictions.Load(),
+		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
+		Sessions:      s.sessions.Load(),
+		Active:        s.active.Load(),
+		Samples:       s.samples.Load(),
+		Reports:       s.reports.Load(),
+		Handovers:     s.handovers.Load(),
+		Predictions:   s.predictions.Load(),
+		Rejected:      s.rejected.Load(),
+		SessionErrors: s.sessionErrors.Load(),
+		Oversized:     s.oversized.Load(),
 	}
 }
 
@@ -210,4 +226,10 @@ type ServerSnapshot struct {
 	Reports     int64 `json:"reports"`
 	Handovers   int64 `json:"handovers"`
 	Predictions int64 `json:"predictions"`
+	// Rejected counts sessions turned away at the MaxSessions limit,
+	// SessionErrors counts sessions that ended with an error, and
+	// Oversized counts input records dropped for exceeding the line limit.
+	Rejected      int64 `json:"rejected_sessions"`
+	SessionErrors int64 `json:"session_errors"`
+	Oversized     int64 `json:"oversized_records"`
 }

@@ -5,6 +5,13 @@
 // handover prediction for every radio sample. This is the deployment shape
 // the paper sketches for Prognos-assisted applications: a local daemon the
 // application queries for ho_score.
+//
+// The server is hardened for fleet-scale load (see internal/fleet): a
+// session-concurrency limit with polite over-limit rejection, per-session
+// read/write deadlines, capped exponential backoff in the accept loop, a
+// structured error line before any session teardown the server initiates,
+// and a graceful drain that stops accepting while letting in-flight
+// sessions finish.
 package server
 
 import (
@@ -24,6 +31,9 @@ import (
 	"repro/internal/trace"
 )
 
+// maxLineBytes bounds one protocol line (hello, record, response).
+const maxLineBytes = 1 << 20
+
 // Hello is the first line a client sends: the deployment context the
 // Prognos instance needs, or a stats request.
 type Hello struct {
@@ -35,7 +45,8 @@ type Hello struct {
 	DisableReportPredictor bool `json:"disable_report_predictor,omitempty"`
 	// Stats, when true, turns the session into a one-shot stats query:
 	// the server answers with one metrics.ServerSnapshot JSON line and
-	// closes. Carrier/Arch are ignored for stats sessions.
+	// closes. Carrier/Arch are ignored for stats sessions, and stats
+	// sessions are never counted against the session limit.
 	Stats bool `json:"stats,omitempty"`
 }
 
@@ -66,48 +77,152 @@ type Response struct {
 	LeadMS     int64   `json:"lead_ms"`
 }
 
+// ErrorLine is the structured error the server sends before tearing down a
+// session it cannot (or can no longer) serve: over-limit rejection, a
+// malformed or oversized record, an engine failure. Clients surface the
+// text as the error of the call that read it.
+type ErrorLine struct {
+	Error string `json:"error"`
+}
+
+// Options tunes the hardening knobs of a Server. The zero value preserves
+// the historical behaviour: unlimited sessions, no deadlines.
+type Options struct {
+	// MaxSessions bounds concurrently served prediction sessions
+	// (0 = unlimited). A session over the limit receives one ErrorLine
+	// and is closed without being counted as opened; stats sessions are
+	// exempt.
+	MaxSessions int
+	// SessionTimeout is the per-read/per-write deadline applied to every
+	// session conn (0 = none). An idle or stuck session errors out after
+	// one quiet interval, freeing its slot.
+	SessionTimeout time.Duration
+	// AcceptBackoffMin/Max bound the exponential backoff applied when
+	// Accept fails with a non-shutdown error (e.g. EMFILE under load).
+	// Defaults: 5ms doubling up to 1s.
+	AcceptBackoffMin time.Duration
+	AcceptBackoffMax time.Duration
+}
+
+// withDefaults fills the backoff bounds.
+func (o Options) withDefaults() Options {
+	if o.AcceptBackoffMin <= 0 {
+		o.AcceptBackoffMin = 5 * time.Millisecond
+	}
+	if o.AcceptBackoffMax < o.AcceptBackoffMin {
+		o.AcceptBackoffMax = time.Second
+	}
+	return o
+}
+
 // Server accepts Prognos prediction sessions.
 type Server struct {
 	ln    net.Listener
+	opts  Options
 	stats *metrics.ServerStats
+	// sleep is the accept-backoff sleeper; tests swap it to observe the
+	// backoff schedule without waiting it out.
+	sleep func(time.Duration)
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  chan struct{}
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	sessions int // prediction sessions holding a MaxSessions slot
+
+	wg       sync.WaitGroup
+	done     chan struct{}
+	stopOnce sync.Once
+	closeErr error
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:7015"; port 0 picks a
-// free port).
-func Listen(addr string) (*Server, error) {
+// free port) with default Options.
+func Listen(addr string) (*Server, error) { return ListenWith(addr, Options{}) }
+
+// ListenWith starts a server on addr with explicit hardening options.
+func ListenWith(addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, stats: metrics.NewServerStats(), conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	s := newServer(ln, opts)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// newServer wires a Server around an existing listener without starting
+// the accept loop (tests drive acceptLoop directly against stub listeners).
+func newServer(ln net.Listener, opts Options) *Server {
+	return &Server{
+		ln:    ln,
+		opts:  opts.withDefaults(),
+		stats: metrics.NewServerStats(),
+		sleep: time.Sleep,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Stats returns a snapshot of the service's run metrics: sessions served,
-// observations streamed and predictions returned since Listen.
+// observations streamed, predictions returned and error counters since
+// Listen.
 func (s *Server) Stats() metrics.ServerSnapshot { return s.stats.Snapshot() }
 
-// Close stops accepting and closes every active session.
+// stopAccept makes the accept loop exit; safe to call more than once.
+func (s *Server) stopAccept() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.closeErr = s.ln.Close()
+	})
+}
+
+// Close stops accepting, force-closes every active session and waits for
+// their goroutines to unwind. Drain is the graceful alternative.
 func (s *Server) Close() error {
-	close(s.done)
-	err := s.ln.Close()
+	s.stopAccept()
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	return err
+	s.wg.Wait()
+	return s.closeErr
+}
+
+// Drain gracefully shuts the server down: it stops accepting new sessions
+// immediately, lets in-flight sessions run to completion for up to timeout,
+// then force-closes whatever remains. It returns nil when every session
+// finished on its own, or an error naming the number of sessions that had
+// to be cut.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.stopAccept()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	forced := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if forced == 0 {
+		return nil
+	}
+	return fmt.Errorf("server: drain timeout after %v: force-closed %d in-flight sessions", timeout, forced)
 }
 
 func (s *Server) acceptLoop() {
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -115,11 +230,34 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				continue
 			}
+			// Transient accept failures (EMFILE, ECONNABORTED, ...) must
+			// not busy-spin the loop: back off exponentially, capped, and
+			// reset on the next successful accept.
+			if backoff == 0 {
+				backoff = s.opts.AcceptBackoffMin
+			} else if backoff < s.opts.AcceptBackoffMax {
+				backoff *= 2
+				if backoff > s.opts.AcceptBackoffMax {
+					backoff = s.opts.AcceptBackoffMax
+				}
+			}
+			s.sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
+		select {
+		case <-s.done:
+			// Shut down between Accept and registration: drop the conn
+			// rather than leak a session past Close/Drain.
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
 		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
 			defer func() {
@@ -127,20 +265,97 @@ func (s *Server) acceptLoop() {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.wg.Done()
 			}()
-			_ = s.serve(conn)
+			s.serve(conn)
 		}()
 	}
 }
 
-// serve runs one session: hello, then records in, predictions out.
-func (s *Server) serve(conn net.Conn) error {
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
+// acquireSlot claims a session slot; it reports false at the limit.
+func (s *Server) acquireSlot() bool {
+	if s.opts.MaxSessions <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sessions >= s.opts.MaxSessions {
+		return false
+	}
+	s.sessions++
+	return true
+}
+
+// releaseSlot returns a session slot claimed with acquireSlot.
+func (s *Server) releaseSlot() {
+	if s.opts.MaxSessions <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.sessions--
+	s.mu.Unlock()
+}
+
+// timeoutConn arms a fresh deadline before every read and write so a
+// session may idle at most Options.SessionTimeout between protocol events.
+type timeoutConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c timeoutConn) Read(p []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c timeoutConn) Write(p []byte) (int, error) {
+	if err := c.SetWriteDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// errOverLimit marks over-limit rejections so they land in the Rejected
+// counter rather than SessionErrors.
+var errOverLimit = errors.New("retry later")
+
+// serve runs one session and accounts its outcome: session errors are
+// counted and, when the transport still works, reported to the client as a
+// structured ErrorLine before teardown.
+func (s *Server) serve(conn net.Conn) {
+	rw := net.Conn(conn)
+	if s.opts.SessionTimeout > 0 {
+		rw = timeoutConn{Conn: conn, d: s.opts.SessionTimeout}
+	}
+	w := bufio.NewWriter(rw)
 	enc := json.NewEncoder(w)
+	if err := s.session(rw, w, enc); err != nil {
+		if !errors.Is(err, errOverLimit) {
+			s.stats.SessionError()
+		}
+		// Best effort: the conn may already be gone.
+		if encErr := enc.Encode(ErrorLine{Error: err.Error()}); encErr == nil && w.Flush() == nil {
+			// Absorb whatever the client has in flight until it reads the
+			// error line and closes (bounded), so the teardown is a clean
+			// FIN rather than a reset that could destroy the error line.
+			conn.SetReadDeadline(time.Now().Add(time.Second))
+			io.Copy(io.Discard, conn)
+		}
+	}
+}
+
+// session speaks the protocol on one conn: hello, then records in,
+// predictions out. The returned error is what the client is told.
+func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) error {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
 
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("server: reading hello: %w", err)
+		}
 		return errors.New("server: no hello")
 	}
 	var hello Hello
@@ -153,6 +368,11 @@ func (s *Server) serve(conn net.Conn) error {
 		}
 		return w.Flush()
 	}
+	if !s.acquireSlot() {
+		s.stats.SessionRejected()
+		return fmt.Errorf("server: session limit reached (max %d), %w", s.opts.MaxSessions, errOverLimit)
+	}
+	defer s.releaseSlot()
 	s.stats.SessionOpened()
 	defer s.stats.SessionClosed()
 	prog, err := core.New(core.Config{
@@ -198,12 +418,21 @@ func (s *Server) serve(conn net.Conn) error {
 		}
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		if errors.Is(err, bufio.ErrTooLong) {
+			s.stats.AddOversized()
+			return fmt.Errorf("server: record exceeds the %d-byte line limit", maxLineBytes)
+		}
 		return err
 	}
 	return nil
 }
 
-// Client is a convenience wrapper for talking to a Prognos server.
+// Client is a convenience wrapper for talking to a Prognos server. Its
+// methods are not safe for concurrent use with each other, with one
+// exception carved out for open-loop load generation: one goroutine may
+// send (SendReport/SendHandover/SendSampleAsync) while another reads
+// (ReadResponse), because the send path touches only the write half and
+// ReadResponse only the read half.
 type Client struct {
 	conn net.Conn
 	sc   *bufio.Scanner
@@ -222,7 +451,7 @@ func Dial(addr string, hello Hello) (*Client, error) {
 		sc:   bufio.NewScanner(conn),
 		w:    bufio.NewWriter(conn),
 	}
-	c.sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	c.sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
 	c.enc = json.NewEncoder(c.w)
 	if err := c.enc.Encode(hello); err != nil {
 		conn.Close()
@@ -238,6 +467,18 @@ func Dial(addr string, hello Hello) (*Client, error) {
 // Close terminates the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// CloseWrite half-closes the session: the server sees EOF (and finishes
+// the session cleanly) while responses still in flight remain readable.
+func (c *Client) CloseWrite() error {
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return errors.New("server: transport does not support half-close")
+}
+
 // SendReport streams one sniffed measurement report.
 func (c *Client) SendReport(mr cellular.MeasurementReport) error {
 	return c.send(Record{Report: &mr})
@@ -250,20 +491,41 @@ func (c *Client) SendHandover(ho cellular.HandoverEvent) error {
 
 // SendSample streams one radio sample and returns the server's prediction.
 func (c *Client) SendSample(smp trace.Sample) (Response, error) {
-	if err := c.send(Record{Sample: &smp}); err != nil {
+	if err := c.SendSampleAsync(smp); err != nil {
 		return Response{}, err
 	}
+	return c.ReadResponse()
+}
+
+// SendSampleAsync streams one radio sample without waiting for the
+// prediction; pair it with ReadResponse. Open-loop load generation uses
+// this split to keep sending on schedule while a reader goroutine measures
+// how late the predictions come back.
+func (c *Client) SendSampleAsync(smp trace.Sample) error {
+	return c.send(Record{Sample: &smp})
+}
+
+// ReadResponse reads the next prediction line. Predictions arrive in send
+// order, one per sample. A structured server error (ErrorLine) is returned
+// as an error carrying the server's message.
+func (c *Client) ReadResponse() (Response, error) {
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
 			return Response{}, err
 		}
 		return Response{}, io.EOF
 	}
-	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+	var env struct {
+		Response
+		Err string `json:"error"`
+	}
+	if err := json.Unmarshal(c.sc.Bytes(), &env); err != nil {
 		return Response{}, fmt.Errorf("server: bad response: %w", err)
 	}
-	return resp, nil
+	if env.Err != "" {
+		return Response{}, fmt.Errorf("server: session error: %s", env.Err)
+	}
+	return env.Response, nil
 }
 
 func (c *Client) send(rec Record) error {
@@ -288,9 +550,15 @@ func FetchStats(addr string) (metrics.ServerSnapshot, error) {
 		}
 		return metrics.ServerSnapshot{}, io.EOF
 	}
-	var snap metrics.ServerSnapshot
-	if err := json.Unmarshal(c.sc.Bytes(), &snap); err != nil {
+	var env struct {
+		metrics.ServerSnapshot
+		Err string `json:"error"`
+	}
+	if err := json.Unmarshal(c.sc.Bytes(), &env); err != nil {
 		return metrics.ServerSnapshot{}, fmt.Errorf("server: bad stats response: %w", err)
 	}
-	return snap, nil
+	if env.Err != "" {
+		return metrics.ServerSnapshot{}, fmt.Errorf("server: stats error: %s", env.Err)
+	}
+	return env.ServerSnapshot, nil
 }

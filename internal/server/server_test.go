@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -161,11 +163,23 @@ func TestServerRejectsBadHello(t *testing.T) {
 	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
 		t.Fatal(err)
 	}
-	// The server must close the session; reads eventually fail or EOF.
+	// The server must answer with a structured error line, then close.
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var line struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(conn).Decode(&line); err != nil {
+		t.Fatalf("reading error line: %v", err)
+	}
+	if !strings.Contains(line.Error, "bad hello") {
+		t.Errorf("error line %q, want a bad-hello message", line.Error)
+	}
 	buf := make([]byte, 64)
 	if _, err := conn.Read(buf); err == nil {
-		t.Error("expected session teardown after bad hello")
+		t.Error("expected session teardown after the error line")
+	}
+	if got := srv.Stats().SessionErrors; got != 1 {
+		t.Errorf("session_errors = %d, want 1", got)
 	}
 }
 

@@ -4,18 +4,25 @@
 //
 // For every benchmark line it records ns/op, B/op, allocs/op, and any
 // extra metrics reported via b.ReportMetric (e.g. HO/km, F1). Context
-// lines (goos/goarch/pkg/cpu) are carried into the envelope.
+// lines (goos/goarch/pkg/cpu) are carried into the envelope. With
+// -fleet report.json (a cmd/prognosload -report file), the fleet's serving
+// latency/throughput report is merged into the envelope under "fleet", so
+// one BENCH_<date>.json tracks the sim substrate and the serving path
+// side by side.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // Result holds one benchmark's parsed measurements.
@@ -33,14 +40,32 @@ type File struct {
 	GoVersion  string            `json:"go_version"`
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
+	// Fleet is the serving-path load report merged in via -fleet.
+	Fleet *fleet.Report `json:"fleet,omitempty"`
 }
 
 func main() {
+	fleetPath := flag.String("fleet", "", "merge a cmd/prognosload -report JSON file into the envelope")
+	flag.Parse()
+
 	out := File{
 		DateUTC:    time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		Context:    map[string]string{},
 		Benchmarks: map[string]Result{},
+	}
+	if *fleetPath != "" {
+		b, err := os.ReadFile(*fleetPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var rep fleet.Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse fleet report %s: %v\n", *fleetPath, err)
+			os.Exit(1)
+		}
+		out.Fleet = &rep
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -67,7 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(out.Benchmarks) == 0 {
+	if len(out.Benchmarks) == 0 && out.Fleet == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
