@@ -1,14 +1,16 @@
 # Development targets; CI runs `make check race`.
 
-.PHONY: check race test bench bench-json loadtest
+.PHONY: check race test bench bench-json loadtest chaos
 
-# Static gate: vet, formatting, and a full build.
+# Static gate plus the chaos smoke: vet, formatting, a full build, and a
+# fault-injected fleet run that must not lose a sample.
 check:
 	go vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
 	fi
 	go build ./...
+	$(MAKE) chaos
 
 # Race-enabled short suite: guards the parallel experiment engine. The
 # experiments package trims to a fast experiment subset under the race
@@ -27,6 +29,17 @@ bench:
 loadtest:
 	go run -race ./cmd/prognosload -selfserve -ues 64 -duration 10s \
 		-mode open -ramp 1s
+
+# Resilience smoke: the 64-UE fleet through the deterministic chaos proxy
+# under the race detector. The seeded fault plan mixes RST-style resets and
+# fragmented writes (plus stalls, latency, accept failures); prognosload
+# exits non-zero on any lost sample or server session error, so this target
+# is the replayable proof that reconnect + resume absorbs transport faults.
+chaos:
+	go run -race ./cmd/prognosload -selfserve -ues 64 -duration 5s \
+		-mode open -ramp 1s -chaos -chaos-seed 7 \
+		-chaos-reset 0.2 -chaos-partial 0.3 -chaos-stall 0.1 \
+		-chaos-latency 0.25 -chaos-accept 0.02
 
 # Perf trajectory tracking: run the substrate micro-benchmarks plus a
 # serving-path smoke fleet and commit the result as BENCH_<utc-date>.json

@@ -12,6 +12,14 @@
 // the daemon drains gracefully — it stops accepting immediately and gives
 // in-flight sessions up to -drain-timeout to finish before cutting them.
 //
+// Resilience: -resume-grace lets a client that lost its connection resume
+// its session warm — the daemon parks the Prognos instance of an
+// interrupted tokened session and replays the responses the client missed
+// (see docs/ARCHITECTURE.md §Resilience). -checkpoint persists the learned
+// pattern state to versioned snapshot files (periodically per
+// -checkpoint-interval, and on drain) so a restarted daemon predicts warm
+// from its first session.
+//
 // Run metrics: a client that sends {"stats":true} as its hello receives a
 // one-line JSON snapshot (sessions, streamed observations, predictions,
 // error counters, uptime) and the connection closes — the hook dashboards
@@ -22,6 +30,7 @@
 //
 //	prognosd [-addr 127.0.0.1:7015] [-stats-interval 30s]
 //	         [-max-sessions 0] [-session-timeout 0] [-drain-timeout 10s]
+//	         [-resume-grace 30s] [-checkpoint dir] [-checkpoint-interval 10s]
 //
 // Try it against a simulated drive with examples/livepredict, or load it
 // with a synthetic UE fleet via cmd/prognosload.
@@ -45,11 +54,17 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent prediction sessions (0 = unlimited)")
 	sessionTimeout := flag.Duration("session-timeout", 0, "per-session read/write deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget for in-flight sessions at shutdown")
+	resumeGrace := flag.Duration("resume-grace", 30*time.Second, "window in which an interrupted tokened session may resume warm (0 = resume off)")
+	checkpointDir := flag.String("checkpoint", "", "directory for learner state checkpoints (empty = off)")
+	checkpointEvery := flag.Duration("checkpoint-interval", 10*time.Second, "periodic checkpoint interval when -checkpoint is set")
 	flag.Parse()
 
 	srv, err := server.ListenWith(*addr, server.Options{
-		MaxSessions:    *maxSessions,
-		SessionTimeout: *sessionTimeout,
+		MaxSessions:        *maxSessions,
+		SessionTimeout:     *sessionTimeout,
+		ResumeGrace:        *resumeGrace,
+		CheckpointDir:      *checkpointDir,
+		CheckpointInterval: *checkpointEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)

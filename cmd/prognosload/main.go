@@ -13,7 +13,16 @@
 //	prognosload [-addr 127.0.0.1:7015 | -selfserve] [-ues 64]
 //	            [-duration 10s] [-mode open|closed] [-carrier OpX]
 //	            [-arch NSA] [-route freeway] [-seed 1] [-ramp 1s]
-//	            [-report fleet.json]
+//	            [-dial-timeout 5s] [-reconnect 8] [-report fleet.json]
+//	            [-chaos] [-chaos-seed 1] [-chaos-reset 0.05] ...
+//
+// Chaos mode (-chaos) routes the fleet through a deterministic fault-
+// injecting proxy (internal/chaos): every connection draws a seeded fault
+// plan — latency, stalls, partial writes, RST-style resets, accept
+// failures — and the resilient clients must reconnect and resume without
+// losing a sample. The run exits non-zero if any sample is lost or (for
+// -selfserve runs) the server counted session errors, so `make chaos` can
+// gate on it.
 //
 // The text summary goes to stdout; -report writes the machine-readable
 // fleet report (tools/benchjson -fleet merges it into BENCH_<date>.json).
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/geo"
 	"repro/internal/server"
@@ -44,6 +54,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet seed; UE i drives seed+i*7919+1")
 	ramp := flag.Duration("ramp", time.Second, "window over which session starts are staggered")
 	reportPath := flag.String("report", "", "write the machine-readable fleet report JSON here")
+	dialTimeout := flag.Duration("dial-timeout", 0, "per-connect dial timeout (0 = client default, 5s)")
+	reconnect := flag.Int("reconnect", 0, "reconnect attempts per fault (0 = default 8, negative = no retry)")
+	chaosOn := flag.Bool("chaos", false, "route the fleet through a deterministic fault-injecting proxy")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos fault plans (replayable)")
+	chaosReset := flag.Float64("chaos-reset", 0.05, "per-connection probability of an RST-style reset")
+	chaosPartial := flag.Float64("chaos-partial", 0.25, "per-connection probability of fragmented (1..16 byte) writes")
+	chaosStall := flag.Float64("chaos-stall", 0.1, "per-connection probability of a mid-stream stall")
+	chaosLatency := flag.Float64("chaos-latency", 0.25, "per-connection probability of added first-byte latency")
+	chaosAccept := flag.Float64("chaos-accept", 0.02, "probability an accept is refused outright")
 	flag.Parse()
 
 	m, err := fleet.ParseMode(*mode)
@@ -60,19 +79,31 @@ func main() {
 	}
 
 	cfg := fleet.Config{
-		Addr:     *addr,
-		UEs:      *ues,
-		Duration: *duration,
-		Mode:     m,
-		Carrier:  *carrier,
-		Arch:     arch,
-		Route:    route,
-		Seed:     *seed,
-		Ramp:     *ramp,
+		Addr:          *addr,
+		UEs:           *ues,
+		Duration:      *duration,
+		Mode:          m,
+		Carrier:       *carrier,
+		Arch:          arch,
+		Route:         route,
+		Seed:          *seed,
+		Ramp:          *ramp,
+		DialTimeout:   *dialTimeout,
+		MaxReconnects: *reconnect,
 	}
 	if *selfServe {
 		cfg.Addr = ""
 		cfg.Server = server.Options{}
+	}
+	if *chaosOn {
+		cfg.Chaos = &chaos.Config{
+			Seed:           *chaosSeed,
+			ResetProb:      *chaosReset,
+			PartialProb:    *chaosPartial,
+			StallProb:      *chaosStall,
+			LatencyProb:    *chaosLatency,
+			AcceptFailProb: *chaosAccept,
+		}
 	}
 
 	fmt.Printf("prognosload: %d UEs × %v, %s loop, %s/%s on %s\n",
@@ -94,6 +125,10 @@ func main() {
 		fmt.Printf("server: sessions %d  rejected %d  session errors %d  oversized %d\n",
 			rep.Server.Sessions, rep.Server.Rejected, rep.Server.SessionErrors, rep.Server.Oversized)
 	}
+	if *chaosOn {
+		fmt.Printf("chaos: seed %d  faults %d  reconnects %d  resumed %d  cold %d  lost samples %d\n",
+			rep.ChaosSeed, rep.ChaosFaults, rep.Reconnects, rep.ResumedSessions, rep.ColdResumes, rep.LostSamples)
+	}
 	if rep.FailedUEs > 0 {
 		fmt.Printf("FAILED UEs: %d\n", rep.FailedUEs)
 		for _, e := range rep.Errors {
@@ -111,7 +146,18 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *reportPath)
 	}
-	if rep.FailedUEs > 0 {
+	// Gate hard on fleet health: any failed UE, any lost sample, or (when we
+	// own the server) any session error fails the run — `make chaos` and CI
+	// depend on this exit code.
+	failed := rep.FailedUEs > 0 || rep.LostSamples > 0
+	if rep.Server != nil && rep.Server.SessionErrors > 0 {
+		failed = true
+		fmt.Printf("FAILED: server counted %d session errors\n", rep.Server.SessionErrors)
+	}
+	if rep.LostSamples > 0 {
+		fmt.Printf("FAILED: %d samples lost\n", rep.LostSamples)
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

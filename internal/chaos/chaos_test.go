@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// chaosCfg is a fault-heavy config used across the tests.
+func chaosCfg(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		LatencyProb:    0.5,
+		StallProb:      0.3,
+		StallFor:       time.Millisecond,
+		PartialProb:    0.5,
+		ResetProb:      0.3,
+		TruncateProb:   0.2,
+		AcceptFailProb: 0.1,
+	}
+}
+
+// drawPlans pulls n plans straight from a listener's generator (no real
+// conns needed — the draw is what determinism is about).
+func drawPlans(seed int64, n int) []Plan {
+	l := Wrap(nil, chaosCfg(seed))
+	out := make([]Plan, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, l.nextPlan())
+	}
+	return out
+}
+
+// TestPlanSequenceDeterministic is the replay contract: equal seed and
+// config draw the identical plan sequence, different seeds do not.
+func TestPlanSequenceDeterministic(t *testing.T) {
+	a := drawPlans(42, 200)
+	b := drawPlans(42, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d diverged across runs of the same seed:\n%v\n%v", i, a[i], b[i])
+		}
+	}
+	c := drawPlans(43, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds drew identical plan sequences")
+	}
+	// The fault mix must actually exercise the configured faults.
+	var resets, partials, accepts int
+	for _, p := range a {
+		if p.ResetAfter > 0 {
+			resets++
+		}
+		if p.Partial {
+			partials++
+		}
+		if p.AcceptFail {
+			accepts++
+		}
+	}
+	if resets == 0 || partials == 0 || accepts == 0 {
+		t.Fatalf("fault mix degenerate: resets=%d partials=%d accept-fails=%d", resets, partials, accepts)
+	}
+}
+
+// TestPartialWritesPreserveBytes pushes a payload through a partial-write
+// plan over a real TCP pair and checks byte-exact arrival: chopping writes
+// must reorder or lose nothing.
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Wrap(ln, Config{Seed: 7, PartialProb: 1})
+	type result struct {
+		data []byte
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		conn, err := cl.Accept()
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		payload := bytes.Repeat([]byte("prognos-chaos-partial-write-"), 64)
+		if _, err := conn.Write(payload); err != nil {
+			got <- result{err: err}
+			return
+		}
+		conn.Close()
+		got <- result{data: payload}
+	}()
+	conn, err := net.Dial("tcp", cl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer cl.Close()
+	received, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(received, r.data) {
+		t.Fatalf("partial writes corrupted the stream: sent %d bytes, received %d", len(r.data), len(received))
+	}
+}
+
+// TestResetCutsConnection drives bytes into a reset plan until the cut
+// fires, and checks the failure is surfaced, not silently swallowed.
+func TestResetCutsConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := Wrap(ln, Config{Seed: 3, ResetProb: 1, ResetBytes: 64})
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := cl.Accept()
+		if err != nil {
+			accepted <- nil
+			return
+		}
+		accepted <- conn
+	}()
+	peer, err := net.Dial("tcp", cl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	defer cl.Close()
+	conn := <-accepted
+	if conn == nil {
+		t.Fatal("accept failed")
+	}
+	var wErr error
+	for i := 0; i < 64; i++ {
+		if _, wErr = conn.Write(bytes.Repeat([]byte("x"), 32)); wErr != nil {
+			break
+		}
+	}
+	if wErr == nil {
+		t.Fatal("reset plan never cut the connection")
+	}
+	var cut *errCut
+	if !errors.As(wErr, &cut) {
+		t.Fatalf("cut surfaced as %v, want *errCut", wErr)
+	}
+}
+
+// TestProxyForwardsCleanly runs a clean-config proxy end to end with
+// half-close propagation: client sends, half-closes, and still reads the
+// server's full answer through the hop.
+func TestProxyForwardsCleanly(t *testing.T) {
+	// Echo server.
+	srvLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvLn.Close()
+	go func() {
+		for {
+			conn, err := srvLn.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				b, _ := io.ReadAll(conn)
+				conn.Write(b)
+			}()
+		}
+	}()
+
+	p, err := NewProxy("127.0.0.1:0", srvLn.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("through the chaos hop and back\n")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	back, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatalf("echoed %q, want %q", back, msg)
+	}
+	if h := p.History(); len(h) != 1 || h[0].Conn != 0 {
+		t.Fatalf("history %v, want exactly conn 0", h)
+	}
+}

@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a chaos hop between real clients and a real server: it accepts
+// through a chaos Listener (so every client connection gets a fault plan)
+// and forwards bytes to the target address. This is what
+// `prognosload -chaos` interposes in front of prognosd.
+type Proxy struct {
+	ln     *Listener
+	target string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewProxy listens on addr (port 0 picks a free port) and forwards every
+// accepted connection — through its fault plan — to target.
+func NewProxy(addr, target string, cfg Config) (*Proxy, error) {
+	raw, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen %s: %w", addr, err)
+	}
+	p := &Proxy{
+		ln:     Wrap(raw, cfg),
+		target: target,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// History returns the fault plans drawn so far, in accept order.
+func (p *Proxy) History() []Plan { return p.ln.History() }
+
+// Close stops accepting, cuts every in-flight forward and waits for the
+// forwarding goroutines to unwind.
+func (p *Proxy) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.done)
+		err = p.ln.Close()
+	})
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			var af *AcceptError
+			if errors.As(err, &af) {
+				continue // injected accept failure: keep accepting
+			}
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		p.mu.Lock()
+		select {
+		case <-p.done:
+			p.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer func() {
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+				conn.Close()
+				p.wg.Done()
+			}()
+			p.forward(conn)
+		}()
+	}
+}
+
+// forward pumps bytes between one chaos-wrapped client connection and a
+// fresh upstream connection, propagating half-closes so a clean
+// client-side end of stream still drains the server's responses. A fault
+// on either leg tears both down — exactly what a mid-path failure does.
+func (p *Proxy) forward(client net.Conn) {
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		rstClose(client)
+		return
+	}
+	defer up.Close()
+
+	var w sync.WaitGroup
+	w.Add(1)
+	go func() {
+		defer w.Done()
+		_, err := io.Copy(up, client) // client → server
+		if err != nil {
+			// The chaos leg died (or the server stopped reading): cut
+			// both directions so neither side waits on a dead path.
+			up.Close()
+			client.Close()
+			return
+		}
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	_, err = io.Copy(client, up) // server → client
+	if err != nil {
+		up.Close()
+		client.Close()
+	} else if cw, ok := client.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	w.Wait()
+}

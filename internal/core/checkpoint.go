@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SnapshotVersion is the checkpoint format version this build writes and
+// accepts. Bump it on any incompatible change to Snapshot's encoding; old
+// files are then skipped at load time instead of being misinterpreted.
+const SnapshotVersion = 1
+
+// LearnerState is the serialized decision learner: the full pattern
+// database (sorted by pattern key) plus the phase/churn counters.
+type LearnerState struct {
+	Patterns []Pattern `json:"patterns"`
+	Phase    int       `json:"phase"`
+	Learned  int       `json:"learned"`
+	Evicted  int       `json:"evicted"`
+}
+
+// TrackState is one serialized signal track of the report predictor:
+// smoother and forecaster window contents, oldest-first.
+type TrackState struct {
+	Valid   bool      `json:"valid,omitempty"`
+	Last    float64   `json:"last,omitempty"`
+	Smooth  []float64 `json:"smooth,omitempty"`
+	History []float64 `json:"history,omitempty"`
+}
+
+// ReportState is the serialized report predictor: the four signal tracks
+// plus the per-event condition counters (indexed like the event configs).
+type ReportState struct {
+	ServLTE    TrackState `json:"serv_lte"`
+	NeighLTE   TrackState `json:"neigh_lte"`
+	ServNR     TrackState `json:"serv_nr"`
+	NeighNR    TrackState `json:"neigh_nr"`
+	Held       []int      `json:"held,omitempty"`
+	EdgeActive []int      `json:"edge_active,omitempty"`
+}
+
+// Snapshot is the crash-safe serialization of a Prognos instance's learned
+// state: the decision learner's pattern database and the report predictor's
+// smoothing state (§7.2's two online-learned stages). Everything else in
+// Prognos (the open phase, the active prediction) is short-lived context
+// that a restarted daemon rebuilds within one phase.
+type Snapshot struct {
+	Learner LearnerState `json:"learner"`
+	Report  ReportState  `json:"report"`
+}
+
+// Snapshot exports the instance's learned state. The encoding is canonical:
+// exporting, restoring into a fresh instance, and exporting again yields
+// byte-identical JSON.
+func (p *Prognos) Snapshot() Snapshot {
+	return Snapshot{Learner: p.learner.State(), Report: p.report.State()}
+}
+
+// Restore replaces the instance's learned state with a snapshot previously
+// exported with Snapshot.
+func (p *Prognos) Restore(s Snapshot) {
+	p.learner.SetState(s.Learner)
+	p.report.SetState(s.Report)
+}
+
+// CheckpointFile is the on-disk envelope of one snapshot, keyed by the
+// (carrier, arch) deployment context the state was learned under.
+type CheckpointFile struct {
+	Version  int      `json:"version"`
+	Carrier  string   `json:"carrier"`
+	Arch     string   `json:"arch"`
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// EncodeCheckpoint renders the canonical checkpoint bytes. The output is
+// deterministic for a given state (sorted patterns, fixed field order), so
+// byte comparison is a valid state-equality check.
+func EncodeCheckpoint(f CheckpointFile) ([]byte, error) {
+	b, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// CheckpointFileName returns the file name a (carrier, arch) checkpoint is
+// stored under inside a checkpoint directory. Carrier names are sanitized
+// to keep the name portable.
+func CheckpointFileName(carrier, arch string) string {
+	clean := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('_')
+			}
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("prognos-%s-%s.ckpt.json", clean(carrier), clean(arch))
+}
+
+// WriteCheckpoint atomically writes a checkpoint into dir: the canonical
+// bytes land in a temporary file first and are renamed into place, so a
+// crash mid-write can never leave a torn checkpoint behind — readers see
+// either the previous complete file or the new one. It returns the number
+// of bytes written.
+func WriteCheckpoint(dir string, f CheckpointFile) (int, error) {
+	f.Version = SnapshotVersion
+	b, err := EncodeCheckpoint(f)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	final := filepath.Join(dir, CheckpointFileName(f.Carrier, f.Arch))
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("core: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("core: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return 0, fmt.Errorf("core: publish checkpoint: %w", err)
+	}
+	return len(b), nil
+}
+
+// ErrCheckpointVersion marks a checkpoint written by an incompatible format
+// version; callers skip such files rather than misreading them.
+var ErrCheckpointVersion = errors.New("unsupported checkpoint version")
+
+// ReadCheckpoint parses one checkpoint file and validates its version.
+func ReadCheckpoint(path string) (CheckpointFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return CheckpointFile{}, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	var f CheckpointFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return CheckpointFile{}, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	if f.Version != SnapshotVersion {
+		return CheckpointFile{}, fmt.Errorf("core: checkpoint %s version %d: %w", path, f.Version, ErrCheckpointVersion)
+	}
+	return f, nil
+}
+
+// LoadCheckpointDir reads every *.ckpt.json in dir, skipping files that are
+// unparseable or carry an incompatible version (a restart must come up even
+// when one checkpoint is from another build). A missing directory is not an
+// error — it simply yields no checkpoints.
+func LoadCheckpointDir(dir string) ([]CheckpointFile, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	var out []CheckpointFile
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt.json") {
+			continue
+		}
+		f, err := ReadCheckpoint(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/trace"
+)
+
+// ckptConfigs is a minimal event-config set for checkpoint tests.
+func ckptConfigs() []cellular.EventConfig {
+	return []cellular.EventConfig{
+		{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: -100, TTT: 320 * time.Millisecond},
+		{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3, TTT: 320 * time.Millisecond},
+	}
+}
+
+// warmPrognos builds an instance with learned patterns and live smoothing
+// state, the shape a mid-drive checkpoint captures.
+func warmPrognos(t *testing.T) *Prognos {
+	t.Helper()
+	p, err := New(Config{EventConfigs: ckptConfigs(), Arch: cellular.ArchLTE, UseReportPredictor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		at := time.Duration(i) * 50 * time.Millisecond
+		p.OnSample(trace.Sample{
+			Time:       at,
+			Arch:       cellular.ArchLTE,
+			ServingLTE: trace.CellObs{PCI: 1, Valid: true, RSRP: -95 - float64(i)},
+		})
+		p.OnReport(cellular.MeasurementReport{Time: at, Event: cellular.EventA2, Tech: cellular.TechLTE, ServingPCI: 1})
+		p.OnHandover(cellular.HandoverEvent{Time: at + 10*time.Millisecond, Type: cellular.HOLTEH})
+	}
+	return p
+}
+
+// TestSnapshotRestoreByteIdentical is the crash-recovery contract: a
+// snapshot written before a kill, restored into a fresh instance after the
+// restart, must re-export byte-identically — the learned pattern database
+// survives process death exactly.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	p := warmPrognos(t)
+	snap := p.Snapshot()
+	if len(snap.Learner.Patterns) == 0 {
+		t.Fatal("warm instance exported no patterns")
+	}
+	if len(snap.Report.ServLTE.Smooth) == 0 || !snap.Report.ServLTE.Valid {
+		t.Fatalf("serving-LTE smoothing state not captured: %+v", snap.Report.ServLTE)
+	}
+
+	b1, err := EncodeCheckpoint(CheckpointFile{Version: SnapshotVersion, Carrier: "OpX", Arch: "LTE", Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(Config{EventConfigs: ckptConfigs(), Arch: cellular.ArchLTE, UseReportPredictor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Restore(snap)
+	b2, err := EncodeCheckpoint(CheckpointFile{Version: SnapshotVersion, Carrier: "OpX", Arch: "LTE", Snapshot: fresh.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("restore is not byte-identical:\n--- before ---\n%s\n--- after ---\n%s", b1, b2)
+	}
+
+	// The restored learner predicts warm: its trigger pattern matches.
+	fresh.OnSample(trace.Sample{Time: time.Second, Arch: cellular.ArchLTE, ServingLTE: trace.CellObs{PCI: 1, Valid: true, RSRP: -101}})
+	fresh.OnReport(cellular.MeasurementReport{Time: time.Second, Event: cellular.EventA2, Tech: cellular.TechLTE, ServingPCI: 1})
+	if pred := fresh.Predict(); pred.Type != cellular.HOLTEH {
+		t.Errorf("restored instance predicted %v, want warm LTEH", pred.Type)
+	}
+}
+
+func TestWriteReadCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := warmPrognos(t)
+	n, err := WriteCheckpoint(dir, CheckpointFile{Carrier: "OpX", Arch: "LTE", Snapshot: p.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("checkpoint size %d", n)
+	}
+	path := filepath.Join(dir, CheckpointFileName("OpX", "LTE"))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(n) {
+		t.Errorf("reported %d bytes, file is %d", n, fi.Size())
+	}
+	f, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Carrier != "OpX" || f.Arch != "LTE" || f.Version != SnapshotVersion {
+		t.Errorf("envelope %+v", f)
+	}
+	if len(f.Snapshot.Learner.Patterns) != len(p.Snapshot().Learner.Patterns) {
+		t.Errorf("pattern count drifted through the file")
+	}
+
+	// Overwrites are atomic renames: a second write must fully replace the
+	// file, and no temp files may linger.
+	if _, err := WriteCheckpoint(dir, CheckpointFile{Carrier: "OpX", Arch: "LTE", Snapshot: p.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir holds %d entries, want exactly the published file", len(entries))
+	}
+}
+
+func TestLoadCheckpointDirSkipsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := warmPrognos(t)
+	if _, err := WriteCheckpoint(dir, CheckpointFile{Carrier: "OpX", Arch: "LTE", Snapshot: p.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt file and a future-version file must both be skipped.
+	if err := os.WriteFile(filepath.Join(dir, "torn.ckpt.json"), []byte("{half a reco"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "future.ckpt.json"), []byte(`{"version":99,"carrier":"OpY","arch":"NSA"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := LoadCheckpointDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Carrier != "OpX" {
+		t.Fatalf("loaded %+v, want exactly the valid OpX checkpoint", files)
+	}
+
+	// A missing directory is an empty load, not an error.
+	if files, err := LoadCheckpointDir(filepath.Join(dir, "nope")); err != nil || files != nil {
+		t.Errorf("missing dir: files=%v err=%v", files, err)
+	}
+}
+
+func TestReadCheckpointRejectsWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v0.ckpt.json")
+	if err := os.WriteFile(path, []byte(`{"version":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(path); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}

@@ -192,6 +192,33 @@ func (l *DecisionLearner) Stats() (learned, evicted, phases, live int) {
 	return l.learned, l.evicted, l.phase, len(l.patterns)
 }
 
+// State exports the learner for checkpointing: the full pattern database
+// (sorted by pattern key, so the encoding is canonical) plus the phase and
+// churn counters. SetState is the exact inverse.
+func (l *DecisionLearner) State() LearnerState {
+	return LearnerState{
+		Patterns: l.Patterns(),
+		Phase:    l.phase,
+		Learned:  l.learned,
+		Evicted:  l.evicted,
+	}
+}
+
+// SetState restores a learner checkpoint exported with State, replacing the
+// current pattern database and counters exactly (unlike Bootstrap, which
+// re-stamps freshness). Restore-then-export round-trips byte-identically.
+func (l *DecisionLearner) SetState(st LearnerState) {
+	l.patterns = make(map[string]*Pattern, len(st.Patterns))
+	for _, p := range st.Patterns {
+		cp := p
+		cp.Seq = append([]string(nil), p.Seq...)
+		l.patterns[cp.Key()] = &cp
+	}
+	l.phase = st.Phase
+	l.learned = st.Learned
+	l.evicted = st.Evicted
+}
+
 // reliabilityFloor drops patterns whose online prediction precision has
 // fallen below this once enough feedback accumulated.
 const (

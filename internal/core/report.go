@@ -216,6 +216,51 @@ func (r *ReportPredictor) tracksFor(cfg cellular.EventConfig) (*signalTrack, *si
 	return r.servLTE, r.neighLTE
 }
 
+// trackState exports one signal track for checkpointing.
+func (t *signalTrack) state() TrackState {
+	return TrackState{
+		Valid:   t.valid,
+		Last:    t.last,
+		Smooth:  t.smoother.Samples(),
+		History: t.forecast.History(),
+	}
+}
+
+// setState restores a signal track exported with state.
+func (t *signalTrack) setState(st TrackState) {
+	t.valid = st.Valid
+	t.last = st.Last
+	t.smoother.SetSamples(st.Smooth)
+	t.forecast.SetHistory(st.History)
+}
+
+// State exports the report predictor's smoothing and condition-tracking
+// state for checkpointing: the four signal tracks plus the per-event TTT
+// and edge-debounce counters. SetState is the inverse; counter slices are
+// truncated or zero-extended to the current event-configuration count.
+func (r *ReportPredictor) State() ReportState {
+	return ReportState{
+		ServLTE:    r.servLTE.state(),
+		NeighLTE:   r.neighLTE.state(),
+		ServNR:     r.servNR.state(),
+		NeighNR:    r.neighNR.state(),
+		Held:       append([]int(nil), r.heldSteps...),
+		EdgeActive: append([]int(nil), r.edgeActive...),
+	}
+}
+
+// SetState restores a report-predictor checkpoint exported with State.
+func (r *ReportPredictor) SetState(st ReportState) {
+	r.servLTE.setState(st.ServLTE)
+	r.neighLTE.setState(st.NeighLTE)
+	r.servNR.setState(st.ServNR)
+	r.neighNR.setState(st.NeighNR)
+	r.heldSteps = make([]int, len(r.configs))
+	r.edgeActive = make([]int, len(r.configs))
+	copy(r.heldSteps, st.Held)
+	copy(r.edgeActive, st.EdgeActive)
+}
+
 // Predict forecasts the measurement reports expected within the prediction
 // window, ordered by lead time. Three per-event cases, mirroring the UE's
 // measurement engine on smoothed signals:

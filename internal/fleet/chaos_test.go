@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestFleetChaosZeroLostSamples is the resilience acceptance check in
+// miniature (make chaos runs the full-size version): an open-loop fleet
+// through a fault-heavy chaos proxy must finish with every UE healthy and
+// exactly zero lost samples — reconnect+resume absorbs the faults — while
+// the server counts interruptions, not session errors.
+func TestFleetChaosZeroLostSamples(t *testing.T) {
+	cfg := Config{
+		UEs:      8,
+		Duration: 1500 * time.Millisecond,
+		Mode:     ModeOpen,
+		Seed:     5,
+		Chaos: &chaos.Config{
+			Seed:        11,
+			ResetProb:   0.5,
+			PartialProb: 0.4,
+			LatencyProb: 0.25,
+			StallProb:   0.25,
+			StallFor:    5 * time.Millisecond,
+		},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("failed UEs %d, errors %v", rep.FailedUEs, rep.Errors)
+	}
+	if rep.LostSamples != 0 {
+		t.Fatalf("lost %d samples through chaos (sent %d, predictions %d)", rep.LostSamples, rep.Samples, rep.Predictions)
+	}
+	if rep.Samples != rep.Predictions {
+		t.Fatalf("samples %d != predictions %d", rep.Samples, rep.Predictions)
+	}
+	if rep.ChaosSeed != 11 || rep.ChaosFaults == 0 {
+		t.Fatalf("chaos accounting: seed %d, faults %d", rep.ChaosSeed, rep.ChaosFaults)
+	}
+	if rep.Reconnects == 0 {
+		t.Fatal("no reconnects — the fault plan never bit, test is vacuous")
+	}
+	if rep.Server == nil {
+		t.Fatal("self-serve report lost the server snapshot")
+	}
+	if rep.Server.SessionErrors != 0 {
+		t.Fatalf("server counted %d session errors; transport faults must park, not error", rep.Server.SessionErrors)
+	}
+	// The proxy turns a client-side cut into a clean FIN toward the server,
+	// so Interrupted may stay zero; resumed sessions are the proof that the
+	// park/resume machinery (not blind resends) absorbed the faults.
+	if rep.Server.Resumed == 0 && rep.ResumedSessions == 0 {
+		t.Error("reconnects happened but no session ever resumed warm")
+	}
+}

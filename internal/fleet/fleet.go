@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/chaos"
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -94,6 +95,19 @@ type Config struct {
 	// large fleet does not arrive as a thundering herd (default 0: all
 	// UEs start at once).
 	Ramp time.Duration
+	// DialTimeout bounds each UE's TCP connect (default: the client's
+	// own 5s).
+	DialTimeout time.Duration
+	// MaxReconnects bounds each recovery's connect attempts (0 = the
+	// resilient client's default of 8; negative = a single attempt, i.e.
+	// no retries). Structured server rejections always fail fast.
+	MaxReconnects int
+	// Chaos, when set, interposes a fault-injecting proxy (internal/chaos)
+	// between the fleet and the server: UEs dial the proxy, the proxy
+	// forwards to the real server through seeded per-connection fault
+	// plans. Self-serve runs default the server's ResumeGrace to 5s so
+	// cut sessions resume instead of erroring.
+	Chaos *chaos.Config
 	// Server configures the in-process server when Addr is empty.
 	Server server.Options
 }
@@ -114,6 +128,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpeedMPS <= 0 {
 		c.SpeedMPS = 29
+	}
+	if c.Chaos != nil && c.Addr == "" && c.Server.ResumeGrace == 0 {
+		c.Server.ResumeGrace = 5 * time.Second
 	}
 	return c
 }
@@ -163,6 +180,21 @@ type Report struct {
 	// to eight distinct error messages for diagnosis.
 	FailedUEs int      `json:"failed_ues"`
 	Errors    []string `json:"errors,omitempty"`
+	// LostSamples counts samples that never earned a prediction across
+	// the whole fleet (sent minus received, summed per UE). A healthy
+	// run — even through chaos — is exactly zero.
+	LostSamples int64 `json:"lost_samples"`
+	// Reconnects counts successful session re-establishments after
+	// transport faults; ResumedSessions how many re-attached server-side
+	// warm state, ColdResumes how many had to start fresh.
+	Reconnects      int64 `json:"reconnects,omitempty"`
+	ResumedSessions int64 `json:"resumed_sessions,omitempty"`
+	ColdResumes     int64 `json:"cold_resumes,omitempty"`
+	// ChaosSeed/ChaosFaults describe the injected fault load when the
+	// run went through a chaos proxy: the seed that replays it and how
+	// many of the drawn per-connection plans carried at least one fault.
+	ChaosSeed   int64 `json:"chaos_seed,omitempty"`
+	ChaosFaults int   `json:"chaos_faults,omitempty"`
 	// PredictionsPerSec is the fleet-wide serving throughput over the
 	// load phase.
 	PredictionsPerSec float64 `json:"predictions_per_sec"`
@@ -213,6 +245,10 @@ type counters struct {
 	predictions atomic.Int64
 	reports     atomic.Int64
 	handovers   atomic.Int64
+	lost        atomic.Int64
+	reconnects  atomic.Int64
+	resumed     atomic.Int64
+	cold        atomic.Int64
 }
 
 // Run executes one fleet load-generation run and returns its report.
@@ -235,6 +271,18 @@ func Run(cfg Config) (*Report, error) {
 		}
 		defer selfServe.Close()
 		addr = selfServe.Addr()
+	}
+	// With chaos enabled, UEs dial the fault-injecting proxy; stats still
+	// come from the server directly.
+	loadAddr := addr
+	var proxy *chaos.Proxy
+	if cfg.Chaos != nil {
+		proxy, err = chaos.NewProxy("127.0.0.1:0", addr, *cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: chaos proxy: %w", err)
+		}
+		defer proxy.Close()
+		loadAddr = proxy.Addr()
 	}
 
 	// Phase 1: generate every UE's drive up front (bounded parallelism),
@@ -303,8 +351,9 @@ func Run(cfg Config) (*Report, error) {
 				time.Sleep(cfg.Ramp * time.Duration(i) / time.Duration(cfg.UEs))
 			}
 			ue := &ueRunner{
+				id:     i,
 				cfg:    cfg,
-				addr:   addr,
+				addr:   loadAddr,
 				replay: replay{log: logs[i]},
 				hist:   &hist,
 				tot:    &tot,
@@ -329,13 +378,25 @@ func Run(cfg Config) (*Report, error) {
 		GenMS:      float64(genWall) / float64(time.Millisecond),
 		WallMS:     float64(loadWall) / float64(time.Millisecond),
 
-		Samples:     tot.samples.Load(),
-		Predictions: tot.predictions.Load(),
-		Reports:     tot.reports.Load(),
-		Handovers:   tot.handovers.Load(),
-		FailedUEs:   int(failed.Load()),
-		Errors:      errs,
-		Latency:     hist.Snapshot(),
+		Samples:         tot.samples.Load(),
+		Predictions:     tot.predictions.Load(),
+		Reports:         tot.reports.Load(),
+		Handovers:       tot.handovers.Load(),
+		FailedUEs:       int(failed.Load()),
+		Errors:          errs,
+		LostSamples:     tot.lost.Load(),
+		Reconnects:      tot.reconnects.Load(),
+		ResumedSessions: tot.resumed.Load(),
+		ColdResumes:     tot.cold.Load(),
+		Latency:         hist.Snapshot(),
+	}
+	if proxy != nil {
+		rep.ChaosSeed = cfg.Chaos.Seed
+		for _, p := range proxy.History() {
+			if p.Active() {
+				rep.ChaosFaults++
+			}
+		}
 	}
 	sort.Strings(rep.Errors)
 	if secs := loadWall.Seconds(); secs > 0 {
@@ -352,6 +413,7 @@ func Run(cfg Config) (*Report, error) {
 
 // ueRunner is one synthetic UE's session state.
 type ueRunner struct {
+	id     int
 	cfg    Config
 	addr   string
 	replay replay
@@ -359,13 +421,36 @@ type ueRunner struct {
 	tot    *counters
 }
 
-// run dials the server and streams the UE's drive for cfg.Duration.
+// run dials the server through a resilient client — each UE carries a
+// deterministic session token derived from its identity, so a transport
+// fault mid-drive reconnects and resumes instead of failing the UE — and
+// streams the drive for cfg.Duration.
 func (u *ueRunner) run() error {
-	client, err := server.Dial(u.addr, server.Hello{Carrier: u.cfg.Carrier, Arch: u.cfg.Arch})
+	retry := server.RetryPolicy{MaxAttempts: u.cfg.MaxReconnects}
+	if u.cfg.MaxReconnects < 0 {
+		retry.MaxAttempts = 1
+	}
+	client, err := server.DialResilient(u.addr, server.ResilientOptions{
+		Hello: server.Hello{
+			Carrier:      u.cfg.Carrier,
+			Arch:         u.cfg.Arch,
+			SessionToken: fmt.Sprintf("fleet-%d-ue-%d", u.cfg.Seed, u.id),
+		},
+		Dial:  server.ClientOptions{DialTimeout: u.cfg.DialTimeout},
+		Retry: retry,
+		Seed:  u.cfg.ueSeed(u.id),
+	})
 	if err != nil {
 		return err
 	}
-	defer client.Close()
+	defer func() {
+		st := client.Stats()
+		u.tot.lost.Add(st.Lost())
+		u.tot.reconnects.Add(st.Reconnects)
+		u.tot.resumed.Add(st.Resumed)
+		u.tot.cold.Add(st.ColdResumes)
+		client.Close()
+	}()
 	if u.cfg.Mode == ModeClosed {
 		return u.runClosed(client)
 	}
@@ -373,7 +458,7 @@ func (u *ueRunner) run() error {
 }
 
 // sendControl streams the control-plane records due before a sample.
-func (u *ueRunner) sendControl(client *server.Client, reports []cellular.MeasurementReport, hos []cellular.HandoverEvent, off time.Duration) error {
+func (u *ueRunner) sendControl(client *server.ResilientClient, reports []cellular.MeasurementReport, hos []cellular.HandoverEvent, off time.Duration) error {
 	for _, mr := range reports {
 		mr.Time += off
 		if err := client.SendReport(mr); err != nil {
@@ -392,7 +477,7 @@ func (u *ueRunner) sendControl(client *server.Client, reports []cellular.Measure
 }
 
 // runClosed measures capacity: blocking round trips, back to back.
-func (u *ueRunner) runClosed(client *server.Client) error {
+func (u *ueRunner) runClosed(client *server.ResilientClient) error {
 	deadline := time.Now().Add(u.cfg.Duration)
 	for time.Now().Before(deadline) {
 		smp, reports, hos, off := u.replay.step()
@@ -415,7 +500,7 @@ func (u *ueRunner) runClosed(client *server.Client) error {
 // every prediction to its sample's *scheduled* send time — late responses
 // therefore accumulate in the histogram tail rather than stretching the
 // send schedule (no coordinated omission).
-func (u *ueRunner) runOpen(client *server.Client) error {
+func (u *ueRunner) runOpen(client *server.ResilientClient) error {
 	n := int(u.cfg.Duration / trace.SamplePeriod)
 	if n < 1 {
 		n = 1
@@ -446,8 +531,9 @@ func (u *ueRunner) runOpen(client *server.Client) error {
 			sendTimes <- due
 		}
 		// Half-close so the server finishes the session cleanly and the
-		// reader sees every in-flight prediction before EOF.
-		if err := client.CloseWrite(); err != nil {
+		// reader sees every in-flight prediction before EOF (Finish
+		// re-half-closes after any later recovery too).
+		if err := client.Finish(); err != nil {
 			writeErr = err
 		}
 	}()

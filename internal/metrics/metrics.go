@@ -157,6 +157,14 @@ type ServerStats struct {
 	rejected      atomic.Int64
 	sessionErrors atomic.Int64
 	oversized     atomic.Int64
+
+	interrupted     atomic.Int64
+	resumed         atomic.Int64
+	parked          atomic.Int64
+	parkedExpired   atomic.Int64
+	checkpointSaves atomic.Int64
+	checkpointLoads atomic.Int64
+	checkpointBytes atomic.Int64
 }
 
 // NewServerStats returns a stats block with the uptime clock started.
@@ -195,6 +203,33 @@ func (s *ServerStats) SessionError() { s.sessionErrors.Add(1) }
 // AddOversized records one input record that exceeded the line limit.
 func (s *ServerStats) AddOversized() { s.oversized.Add(1) }
 
+// SessionInterrupted records a resumable session cut by a transport fault
+// and parked for reconnection (not counted as a session error).
+func (s *ServerStats) SessionInterrupted() { s.interrupted.Add(1) }
+
+// SessionResumed records a reconnecting client re-attached to its parked
+// warm Prognos instance.
+func (s *ServerStats) SessionResumed() { s.resumed.Add(1) }
+
+// SessionParked / SessionUnparked move the parked-session gauge.
+func (s *ServerStats) SessionParked() int64   { return s.parked.Add(1) }
+func (s *ServerStats) SessionUnparked() int64 { return s.parked.Add(-1) }
+
+// ParkedExpired records a parked session dropped at the end of its resume
+// grace window (or evicted at the parked-table bound).
+func (s *ServerStats) ParkedExpired() { s.parkedExpired.Add(1) }
+
+// CheckpointSaved records one checkpoint write pass publishing n bytes of
+// snapshot state; the byte gauge tracks the latest pass's total size.
+func (s *ServerStats) CheckpointSaved(n int64) {
+	s.checkpointSaves.Add(1)
+	s.checkpointBytes.Store(n)
+}
+
+// CheckpointRestored records one (carrier, arch) snapshot restored from
+// disk at startup.
+func (s *ServerStats) CheckpointRestored() { s.checkpointLoads.Add(1) }
+
 // Snapshot returns a consistent-enough copy of the counters for export.
 func (s *ServerStats) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
@@ -208,6 +243,14 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		Rejected:      s.rejected.Load(),
 		SessionErrors: s.sessionErrors.Load(),
 		Oversized:     s.oversized.Load(),
+
+		Interrupted:        s.interrupted.Load(),
+		Resumed:            s.resumed.Load(),
+		Parked:             s.parked.Load(),
+		ParkedExpired:      s.parkedExpired.Load(),
+		CheckpointSaves:    s.checkpointSaves.Load(),
+		CheckpointRestores: s.checkpointLoads.Load(),
+		CheckpointBytes:    s.checkpointBytes.Load(),
 	}
 }
 
@@ -232,4 +275,18 @@ type ServerSnapshot struct {
 	Rejected      int64 `json:"rejected_sessions"`
 	SessionErrors int64 `json:"session_errors"`
 	Oversized     int64 `json:"oversized_records"`
+	// Interrupted counts resumable sessions cut by a transport fault and
+	// parked; Resumed counts reconnects that re-attached a warm instance.
+	// Parked is the current parked-session gauge and ParkedExpired counts
+	// parked sessions dropped at the end of their grace window.
+	Interrupted   int64 `json:"interrupted_sessions"`
+	Resumed       int64 `json:"resumed_sessions"`
+	Parked        int64 `json:"parked_sessions"`
+	ParkedExpired int64 `json:"expired_parked_sessions"`
+	// CheckpointSaves counts checkpoint write passes, CheckpointRestores
+	// the snapshots restored at startup, and CheckpointBytes the total
+	// size of the most recent write pass.
+	CheckpointSaves    int64 `json:"checkpoint_saves"`
+	CheckpointRestores int64 `json:"checkpoint_restores"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
 }

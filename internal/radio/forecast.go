@@ -99,6 +99,33 @@ func (f *LinearForecaster) Reset() {
 	f.filled = 0
 }
 
+// History returns the retained window contents oldest-first, for state
+// checkpointing. An empty slice means the forecaster is empty.
+func (f *LinearForecaster) History() []float64 {
+	out := make([]float64, 0, f.filled)
+	start := f.head - f.filled
+	if start < 0 {
+		start += f.window
+	}
+	for i := 0; i < f.filled; i++ {
+		out = append(out, f.buf[(start+i)%f.window])
+	}
+	return out
+}
+
+// SetHistory replaces the history window with vs (oldest-first), the
+// inverse of History. When vs is longer than the window only the newest
+// window-many samples are kept.
+func (f *LinearForecaster) SetHistory(vs []float64) {
+	f.Reset()
+	if over := len(vs) - f.window; over > 0 {
+		vs = vs[over:]
+	}
+	for _, v := range vs {
+		f.Push(v)
+	}
+}
+
 // MAE computes the mean absolute error between two equal-length series; it
 // is used by tests and the Fig. 14b throughput-prediction analysis.
 func MAE(pred, actual []float64) float64 {

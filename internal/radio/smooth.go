@@ -73,5 +73,32 @@ func (s *TriangularSmoother) Reset() {
 	s.filled = 0
 }
 
+// Samples returns the retained window contents oldest-first, for state
+// checkpointing. An empty slice means the smoother is empty.
+func (s *TriangularSmoother) Samples() []float64 {
+	out := make([]float64, 0, s.filled)
+	start := s.head - s.filled
+	if start < 0 {
+		start += s.window
+	}
+	for i := 0; i < s.filled; i++ {
+		out = append(out, s.buf[(start+i)%s.window])
+	}
+	return out
+}
+
+// SetSamples replaces the smoother contents with vs (oldest-first), the
+// inverse of Samples. When vs is longer than the window only the newest
+// window-many samples are kept.
+func (s *TriangularSmoother) SetSamples(vs []float64) {
+	s.Reset()
+	if over := len(vs) - s.window; over > 0 {
+		vs = vs[over:]
+	}
+	for _, v := range vs {
+		s.Push(v)
+	}
+}
+
 // Window returns the configured window length.
 func (s *TriangularSmoother) Window() int { return s.window }

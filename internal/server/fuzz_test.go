@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+)
+
+// FuzzSessionProtocol throws arbitrary byte streams at a full session —
+// hello parsing, record decoding, the resume handshake — and requires the
+// server to survive every one of them: no panic, no hang. The seed corpus
+// is the malformed-input catalogue the hardening tests cover one by one.
+func FuzzSessionProtocol(f *testing.F) {
+	line := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	sample := mkSample(0, -95)
+	hello := line(Hello{Carrier: "OpX", Arch: cellular.ArchNSA})
+	rec := line(Record{Sample: &sample})
+
+	// Well-formed session: hello plus a sample record.
+	f.Add(append(append([]byte{}, hello...), rec...))
+	// The hardening corpus: bad hello JSON, bad record JSON, empty input,
+	// a stats query, an unknown-field record, a bare newline storm.
+	f.Add([]byte("{half a hello\n"))
+	f.Add(append(append([]byte{}, hello...), []byte("{\"sample\":42}\n")...))
+	f.Add([]byte{})
+	f.Add(line(Hello{Stats: true}))
+	f.Add(append(append([]byte{}, hello...), []byte("{\"unknown\":true}\n")...))
+	f.Add([]byte("\n\n\n\n"))
+	// Resume-protocol shapes: tokened hello, absurd cursor, token with no
+	// resume support configured server-side.
+	f.Add(line(Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "fuzz-tok"}))
+	f.Add(line(Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "fuzz-tok", LastSeq: -7}))
+	f.Add(line(Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "fuzz-tok", LastSeq: 1 << 40}))
+	// An oversized record line (over maxLineBytes).
+	f.Add(append(append([]byte{}, hello...), append(bytes.Repeat([]byte("x"), maxLineBytes+1), '\n')...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := newServer(nil, Options{SessionTimeout: time.Second})
+		client, srvConn := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer srvConn.Close()
+			s.serve(srvConn)
+		}()
+		// Drain whatever the server writes so its writes never block the
+		// pipe, and feed it the fuzzed stream.
+		go io.Copy(io.Discard, client)
+		client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		client.Write(data)
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("session hung on fuzzed input")
+		}
+	})
+}

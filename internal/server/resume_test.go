@@ -1,0 +1,366 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/chaos"
+)
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSessionResumeReplaysLostResponses is the warm-resume round trip: a
+// tokened session is cut mid-stream, the reconnect re-attaches the parked
+// Prognos instance, and the server replays exactly the responses the
+// client reports missing — no gaps, no duplicates.
+func TestSessionResumeReplaysLostResponses(t *testing.T) {
+	srv, err := ListenWith("127.0.0.1:0", Options{ResumeGrace: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hello := Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-resume-1"}
+	c1, err := Dial(srv.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c1.readAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Resumed || ack.Seq != 0 {
+		t.Fatalf("fresh tokened session acked %+v", ack)
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := c1.SendSample(mkSample(time.Duration(i)*50*time.Millisecond, -95))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Seq != int64(i+1) {
+			t.Fatalf("sample %d acked seq %d", i, resp.Seq)
+		}
+	}
+	// Abrupt cut (RST, the way a crashed UE looks): the server must park
+	// the warm instance, not error.
+	c1.conn.(*net.TCPConn).SetLinger(0)
+	c1.Close()
+	waitFor(t, "session to park", func() bool { return srv.Stats().Parked == 1 })
+
+	// Reconnect claiming we only read up to seq 3: the server owes 4, 5.
+	hello.LastSeq = 3
+	c2, err := Dial(srv.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ack, err = c2.readAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Resumed || ack.Seq != 5 {
+		t.Fatalf("resume acked %+v, want resumed at seq 5", ack)
+	}
+	for _, want := range []int64{4, 5} {
+		resp, err := c2.ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Seq != want {
+			t.Fatalf("replayed seq %d, want %d", resp.Seq, want)
+		}
+	}
+	// The stream continues where it left off.
+	resp, err := c2.SendSample(mkSample(300*time.Millisecond, -95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 6 {
+		t.Fatalf("post-resume sample acked seq %d, want 6", resp.Seq)
+	}
+	if err := c2.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := srv.Stats()
+	if snap.Interrupted != 1 || snap.Resumed != 1 {
+		t.Errorf("interrupted=%d resumed=%d, want 1/1", snap.Interrupted, snap.Resumed)
+	}
+	if snap.SessionErrors != 0 {
+		t.Errorf("a parked interruption was miscounted as %d session errors", snap.SessionErrors)
+	}
+}
+
+// TestResumeGapColdStarts covers the other half of the replay invariant:
+// when the client's cursor is beyond what the server ever answered (token
+// reuse, buffer loss), the server must refuse the resume and cold-start
+// rather than leave a hole in the response stream.
+func TestResumeGapColdStarts(t *testing.T) {
+	srv, err := ListenWith("127.0.0.1:0", Options{ResumeGrace: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hello := Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-gap"}
+	c1, err := Dial(srv.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.readAck(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.SendSample(mkSample(0, -95)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	waitFor(t, "session to park", func() bool { return srv.Stats().Parked == 1 })
+
+	hello.LastSeq = 40 // claims responses the server never sent
+	c2, err := Dial(srv.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ack, err := c2.readAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Resumed || ack.Seq != 0 {
+		t.Fatalf("gap resume acked %+v, want a cold start", ack)
+	}
+	resp, err := c2.SendSample(mkSample(0, -95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 1 {
+		t.Fatalf("cold session restarted at seq %d, want 1", resp.Seq)
+	}
+}
+
+// TestSessionTimeoutResumeGraceInteraction pins the SessionTimeout ×
+// ResumeGrace contract: an idle tokened session is parked (not errored) at
+// the deadline, a parked session holds no MaxSessions slot, and the park
+// expires at the end of the grace window without leaking anything.
+func TestSessionTimeoutResumeGraceInteraction(t *testing.T) {
+	srv, err := ListenWith("127.0.0.1:0", Options{
+		MaxSessions:    1,
+		SessionTimeout: 50 * time.Millisecond,
+		ResumeGrace:    400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hello := Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-idle"}
+	c1, err := Dial(srv.Addr(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.readAck(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.SendSample(mkSample(0, -95)); err != nil {
+		t.Fatal(err)
+	}
+	// Idle past the deadline: the server must park, not error.
+	waitFor(t, "idle session to park", func() bool { return srv.Stats().Parked == 1 })
+	if snap := srv.Stats(); snap.SessionErrors != 0 || snap.Interrupted != 1 {
+		t.Fatalf("idle tokened session accounted wrong: %+v", snap)
+	}
+
+	// The parked session must not hold the single MaxSessions slot.
+	c2, err := Dial(srv.Addr(), Hello{Carrier: "OpX", Arch: cellular.ArchLTE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.SendSample(mkSample(0, -95)); err != nil {
+		t.Fatalf("parked session leaked the only session slot: %v", err)
+	}
+	c2.CloseWrite()
+	c2.Close()
+
+	// The park must expire at the end of the grace window...
+	waitFor(t, "park to expire", func() bool {
+		s := srv.Stats()
+		return s.Parked == 0 && s.ParkedExpired >= 1
+	})
+	// ...and a resume attempt after expiry gets a cold start.
+	c3, err := Dial(srv.Addr(), Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-idle", LastSeq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	ack, err := c3.readAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Resumed {
+		t.Fatal("resumed a session that should have expired")
+	}
+	if err := c3.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// learnSession streams enough (sample, A2 report, LTE handover) phases
+// through a session for the server-side learner to mine patterns.
+func learnSession(t *testing.T, addr string) {
+	t.Helper()
+	c, err := Dial(addr, Hello{Carrier: "OpX", Arch: cellular.ArchLTE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 6; i++ {
+		at := time.Duration(i) * 50 * time.Millisecond
+		if _, err := c.SendSample(mkSample(at, -95)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SendReport(cellular.MeasurementReport{Time: at, Event: cellular.EventA2, Tech: cellular.TechLTE, ServingPCI: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SendHandover(cellular.HandoverEvent{Time: at + 10*time.Millisecond, Type: cellular.HOLTEH}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadResponse(); err == nil {
+		t.Fatal("expected EOF after drain")
+	}
+}
+
+// TestCheckpointKillRestart is the crash-recovery acceptance check: a
+// server learns, checkpoints, dies; a new server on the same directory
+// restores the pattern database — the re-exported checkpoint is
+// byte-identical — and fresh sessions predict warm immediately.
+func TestCheckpointKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{CheckpointDir: dir, CheckpointInterval: time.Hour}
+
+	srv1, err := ListenWith("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learnSession(t, srv1.Addr())
+	if n, err := srv1.CheckpointNow(); err != nil || n == 0 {
+		t.Fatalf("checkpoint: n=%d err=%v", n, err)
+	}
+	path := filepath.Join(dir, "prognos-OpX-LTE.ckpt.json")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close() // the kill
+
+	srv2, err := ListenWith("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if snap := srv2.Stats(); snap.CheckpointRestores != 1 {
+		t.Fatalf("restored %d checkpoints, want 1", snap.CheckpointRestores)
+	}
+	// Re-exporting the restored state must reproduce the file exactly.
+	if _, err := srv2.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("restored checkpoint is not byte-identical (%d vs %d bytes)", len(before), len(after))
+	}
+
+	// A fresh session on the restarted server predicts warm: the learned
+	// A2→LTEH pattern fires on the first trigger report.
+	c, err := Dial(srv2.Addr(), Hello{Carrier: "OpX", Arch: cellular.ArchLTE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.SendSample(mkSample(0, -95)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendReport(cellular.MeasurementReport{Time: 0, Event: cellular.EventA2, Tech: cellular.TechLTE, ServingPCI: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.SendSample(mkSample(50*time.Millisecond, -95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != cellular.HOLTEH {
+		t.Errorf("restarted server predicted %s, want a warm LTEH", resp.TypeName)
+	}
+}
+
+// TestResilientClientThroughChaos drives a ResilientClient through a
+// chaos proxy that keeps resetting connections: every sample must still
+// earn exactly one response, with the recovery visible in the stats.
+func TestResilientClientThroughChaos(t *testing.T) {
+	srv, err := ListenWith("127.0.0.1:0", Options{ResumeGrace: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy, err := chaos.NewProxy("127.0.0.1:0", srv.Addr(), chaos.Config{
+		Seed:       99,
+		ResetProb:  1,
+		ResetBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	rc, err := DialResilient(proxy.Addr(), ResilientOptions{
+		Hello: Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-chaos"},
+		Retry: RetryPolicy{MaxAttempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := rc.SendSampleAsync(mkSample(time.Duration(i)*50*time.Millisecond, -95)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.ReadResponse(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rc.Stats()
+	if st.Sent != n || st.Received != n || st.Lost() != 0 {
+		t.Fatalf("accounting: %+v", st)
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("the chaos proxy never forced a reconnect — test is vacuous")
+	}
+	if st.Resumed == 0 {
+		t.Error("no reconnect resumed warm state")
+	}
+}

@@ -48,6 +48,18 @@ type Hello struct {
 	// closes. Carrier/Arch are ignored for stats sessions, and stats
 	// sessions are never counted against the session limit.
 	Stats bool `json:"stats,omitempty"`
+	// SessionToken, when set, makes the session resumable: if the
+	// transport drops mid-stream the server parks the warm Prognos
+	// instance for Options.ResumeGrace, and a reconnect presenting the
+	// same token re-attaches to it. The server then answers the hello
+	// with a ResumeAck line (and replays any buffered responses the
+	// client missed) before resuming the record stream. Tokens are
+	// client-chosen; they only need to be unique per server.
+	SessionToken string `json:"session_token,omitempty"`
+	// LastSeq is the highest Response.Seq the client has already read,
+	// so a resumed session replays exactly the responses that were lost
+	// in flight and nothing the client already has.
+	LastSeq int64 `json:"last_seq,omitempty"`
 }
 
 // Record is one streamed observation; exactly one payload field is set.
@@ -75,6 +87,25 @@ type Response struct {
 	// LeadMS how far ahead the prediction was first standing.
 	Similarity float64 `json:"similarity"`
 	LeadMS     int64   `json:"lead_ms"`
+	// Seq is the 1-based ordinal of the sample this response answers,
+	// the resume cursor: a reconnecting client reports the highest Seq
+	// it has read and the server replays from there.
+	Seq int64 `json:"seq,omitempty"`
+}
+
+// ResumeAck is the line the server sends right after the hello of any
+// tokened session, before the first response. Resumed reports whether a
+// parked warm instance was re-attached; Seq is the server's resume cursor
+// (the highest Response.Seq it has answered — 0 for a fresh session).
+// When Resumed is true the server guarantees it will replay every buffered
+// response in (hello.LastSeq, Seq] immediately after this line, so the
+// client only needs to resend samples it sent after Seq. When Resumed is
+// false the server state is fresh: the client must reset its cursor to 0
+// and resend everything unanswered.
+type ResumeAck struct {
+	ResumeAck bool  `json:"resume_ack"`
+	Resumed   bool  `json:"resumed"`
+	Seq       int64 `json:"seq"`
 }
 
 // ErrorLine is the structured error the server sends before tearing down a
@@ -102,15 +133,39 @@ type Options struct {
 	// Defaults: 5ms doubling up to 1s.
 	AcceptBackoffMin time.Duration
 	AcceptBackoffMax time.Duration
+	// ResumeGrace enables session resume: when a tokened session loses
+	// its transport, the warm Prognos instance is parked for this long
+	// and a reconnect presenting the same token re-attaches to it
+	// (0 = resume disabled). Parked sessions hold no MaxSessions slot.
+	ResumeGrace time.Duration
+	// MaxParked bounds the parked-session table (default 256 when
+	// ResumeGrace is set); at the bound the entry closest to expiry is
+	// evicted.
+	MaxParked int
+	// CheckpointDir enables crash-safe learner checkpoints: the server
+	// periodically serializes the warmest Prognos state per
+	// (carrier, arch) into versioned snapshot files in this directory
+	// (atomic rename), restores them on startup, and writes a final
+	// checkpoint on Drain. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointInterval is the periodic checkpoint cadence when
+	// CheckpointDir is set (default 10s).
+	CheckpointInterval time.Duration
 }
 
-// withDefaults fills the backoff bounds.
+// withDefaults fills the backoff bounds and the resilience defaults.
 func (o Options) withDefaults() Options {
 	if o.AcceptBackoffMin <= 0 {
 		o.AcceptBackoffMin = 5 * time.Millisecond
 	}
 	if o.AcceptBackoffMax < o.AcceptBackoffMin {
 		o.AcceptBackoffMax = time.Second
+	}
+	if o.ResumeGrace > 0 && o.MaxParked <= 0 {
+		o.MaxParked = 256
+	}
+	if o.CheckpointDir != "" && o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 10 * time.Second
 	}
 	return o
 }
@@ -127,6 +182,12 @@ type Server struct {
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
 	sessions int // prediction sessions holding a MaxSessions slot
+	parked   map[string]*parkedSession
+
+	// warmMu guards the warm snapshot store (see resume.go); it nests
+	// inside nothing — pushWarm is callable from any path.
+	warmMu sync.Mutex
+	warm   map[warmKey]core.Snapshot
 
 	wg       sync.WaitGroup
 	done     chan struct{}
@@ -152,14 +213,23 @@ func ListenWith(addr string, opts Options) (*Server, error) {
 // newServer wires a Server around an existing listener without starting
 // the accept loop (tests drive acceptLoop directly against stub listeners).
 func newServer(ln net.Listener, opts Options) *Server {
-	return &Server{
-		ln:    ln,
-		opts:  opts.withDefaults(),
-		stats: metrics.NewServerStats(),
-		sleep: time.Sleep,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+	s := &Server{
+		ln:     ln,
+		opts:   opts.withDefaults(),
+		stats:  metrics.NewServerStats(),
+		sleep:  time.Sleep,
+		conns:  make(map[net.Conn]struct{}),
+		parked: make(map[string]*parkedSession),
+		warm:   make(map[warmKey]core.Snapshot),
+		done:   make(chan struct{}),
 	}
+	if s.opts.CheckpointDir != "" {
+		s.restoreCheckpoints()
+	}
+	if s.opts.ResumeGrace > 0 || s.opts.CheckpointDir != "" {
+		go s.housekeeping()
+	}
+	return s
 }
 
 // Addr returns the bound address.
@@ -205,6 +275,9 @@ func (s *Server) Drain(timeout time.Duration) error {
 	}()
 	select {
 	case <-finished:
+		if s.opts.CheckpointDir != "" {
+			s.CheckpointNow()
+		}
 		return nil
 	case <-time.After(timeout):
 	}
@@ -215,6 +288,11 @@ func (s *Server) Drain(timeout time.Duration) error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.opts.CheckpointDir != "" {
+		// Final checkpoint: every session has now pushed its last warm
+		// snapshot, so this capture is the complete pre-shutdown state.
+		s.CheckpointNow()
+	}
 	if forced == 0 {
 		return nil
 	}
@@ -321,9 +399,15 @@ func (c timeoutConn) Write(p []byte) (int, error) {
 // counter rather than SessionErrors.
 var errOverLimit = errors.New("retry later")
 
+// errInterrupted marks a tokened session cut by a transport fault whose
+// warm state was parked for resume: not a session error, and the conn is
+// already dead so no ErrorLine is attempted.
+var errInterrupted = errors.New("session interrupted")
+
 // serve runs one session and accounts its outcome: session errors are
 // counted and, when the transport still works, reported to the client as a
-// structured ErrorLine before teardown.
+// structured ErrorLine before teardown. Interrupted resumable sessions are
+// parked instead (see session) and counted separately.
 func (s *Server) serve(conn net.Conn) {
 	rw := net.Conn(conn)
 	if s.opts.SessionTimeout > 0 {
@@ -332,6 +416,10 @@ func (s *Server) serve(conn net.Conn) {
 	w := bufio.NewWriter(rw)
 	enc := json.NewEncoder(w)
 	if err := s.session(rw, w, enc); err != nil {
+		if errors.Is(err, errInterrupted) {
+			s.stats.SessionInterrupted()
+			return
+		}
 		if !errors.Is(err, errOverLimit) {
 			s.stats.SessionError()
 		}
@@ -375,15 +463,89 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 	defer s.releaseSlot()
 	s.stats.SessionOpened()
 	defer s.stats.SessionClosed()
-	prog, err := core.New(core.Config{
-		EventConfigs:       ran.EventConfigsFor(hello.Carrier, hello.Arch),
-		Arch:               hello.Arch,
-		UseReportPredictor: !hello.DisableReportPredictor,
-	})
-	if err != nil {
-		return err
+
+	// A tokened hello may resume a parked warm instance. Parked sessions
+	// hold no MaxSessions slot, so the slot acquired above is this conn's
+	// own — resume can never leak or double-count slots.
+	resumable := hello.SessionToken != "" && s.opts.ResumeGrace > 0
+	var (
+		prog   *core.Prognos
+		seq    int64
+		buf    *replayBuffer
+		replay []Response
+	)
+	resumed := false
+	if resumable {
+		if p := s.unpark(hello.SessionToken); p != nil {
+			if rs, ok := p.buf.after(hello.LastSeq, p.seq); ok {
+				prog, seq, buf, replay = p.prog, p.seq, p.buf, rs
+				resumed = true
+				s.stats.SessionResumed()
+			}
+			// A replay gap means the client is missing responses the
+			// buffer no longer holds: drop the parked state and cold-start
+			// so the accounting stays exact (the warm store still carries
+			// its learned patterns).
+		}
+	}
+	if !resumed {
+		var err error
+		prog, err = core.New(core.Config{
+			EventConfigs:       ran.EventConfigsFor(hello.Carrier, hello.Arch),
+			Arch:               hello.Arch,
+			UseReportPredictor: !hello.DisableReportPredictor,
+		})
+		if err != nil {
+			return err
+		}
+		// Warm-start the learner from the best snapshot this server has
+		// for the deployment context (prior sessions or a restored
+		// checkpoint): the cold-start mitigation of §9.
+		if snap, ok := s.warmSnapshot(hello.Carrier, hello.Arch); ok {
+			prog.Bootstrap(snap.Learner.Patterns)
+		}
+		if resumable {
+			buf = newReplayBuffer(replayBufCap)
+		}
+	}
+	park := func() error {
+		s.park(&parkedSession{
+			token:   hello.SessionToken,
+			prog:    prog,
+			seq:     seq,
+			buf:     buf,
+			carrier: hello.Carrier,
+			arch:    hello.Arch,
+		})
+		return errInterrupted
+	}
+	if hello.SessionToken != "" {
+		// Always acknowledge a token (even when resume is disabled
+		// server-side: resumed=false tells the client to start fresh),
+		// then replay what the client missed.
+		if err := enc.Encode(ResumeAck{ResumeAck: true, Resumed: resumed, Seq: seq}); err != nil {
+			if resumable {
+				return park()
+			}
+			return err
+		}
+		for _, r := range replay {
+			if err := enc.Encode(r); err != nil {
+				if resumable {
+					return park()
+				}
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			if resumable {
+				return park()
+			}
+			return err
+		}
 	}
 
+	samplesSinceWarm := 0
 	for sc.Scan() {
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
@@ -401,6 +563,7 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			prog.OnSample(*rec.Sample)
 			pred := prog.Predict()
 			s.stats.AddPrediction()
+			seq++
 			resp := Response{
 				Time:       rec.Sample.Time,
 				Type:       pred.Type,
@@ -408,12 +571,26 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 				Score:      pred.Score,
 				Similarity: pred.Similarity,
 				LeadMS:     pred.Lead.Milliseconds(),
+				Seq:        seq,
+			}
+			if buf != nil {
+				buf.push(resp)
 			}
 			if err := enc.Encode(resp); err != nil {
+				if resumable {
+					return park()
+				}
 				return err
 			}
 			if err := w.Flush(); err != nil {
+				if resumable {
+					return park()
+				}
 				return err
+			}
+			if samplesSinceWarm++; samplesSinceWarm >= warmPushEvery {
+				samplesSinceWarm = 0
+				s.pushWarm(hello.Carrier, hello.Arch, prog.Snapshot())
 			}
 		}
 	}
@@ -422,7 +599,27 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			s.stats.AddOversized()
 			return fmt.Errorf("server: record exceeds the %d-byte line limit", maxLineBytes)
 		}
+		// A read-side transport fault (reset, timeout, chaos cut): park
+		// resumable sessions for the grace window instead of erroring.
+		if resumable {
+			return park()
+		}
 		return err
+	}
+	// Clean EOF. A chaos proxy tearing a path down can surface as EOF
+	// rather than an error, so resumable sessions park here too — a
+	// genuinely finished client simply never resumes and the entry ages
+	// out of the table at the end of the grace window.
+	s.pushWarm(hello.Carrier, hello.Arch, prog.Snapshot())
+	if resumable {
+		s.park(&parkedSession{
+			token:   hello.SessionToken,
+			prog:    prog,
+			seq:     seq,
+			buf:     buf,
+			carrier: hello.Carrier,
+			arch:    hello.Arch,
+		})
 	}
 	return nil
 }
@@ -440,9 +637,29 @@ type Client struct {
 	enc  *json.Encoder
 }
 
-// Dial connects and sends the hello.
+// ClientOptions tunes how a Client connects. The zero value gives the
+// historical defaults.
+type ClientOptions struct {
+	// DialTimeout bounds the TCP connect (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Dial connects with default options and sends the hello.
 func Dial(addr string, hello Hello) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialWith(addr, hello, ClientOptions{})
+}
+
+// DialWith connects with explicit options and sends the hello.
+func DialWith(addr string, hello Hello, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
@@ -505,9 +722,19 @@ func (c *Client) SendSampleAsync(smp trace.Sample) error {
 	return c.send(Record{Sample: &smp})
 }
 
+// ServerError is a structured error the server sent as an ErrorLine before
+// tearing the session down: a protocol-level verdict (rejection, malformed
+// input, engine failure), not a transport fault. Resilient clients treat it
+// as permanent — retrying the same session would earn the same answer.
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "server: session error: " + e.Msg }
+
 // ReadResponse reads the next prediction line. Predictions arrive in send
 // order, one per sample. A structured server error (ErrorLine) is returned
-// as an error carrying the server's message.
+// as a *ServerError carrying the server's message.
 func (c *Client) ReadResponse() (Response, error) {
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
@@ -523,9 +750,35 @@ func (c *Client) ReadResponse() (Response, error) {
 		return Response{}, fmt.Errorf("server: bad response: %w", err)
 	}
 	if env.Err != "" {
-		return Response{}, fmt.Errorf("server: session error: %s", env.Err)
+		return Response{}, &ServerError{Msg: env.Err}
 	}
 	return env.Response, nil
+}
+
+// readAck reads the ResumeAck the server sends for a tokened hello. An
+// ErrorLine in its place (e.g. over-limit rejection) surfaces as a
+// *ServerError.
+func (c *Client) readAck() (ResumeAck, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return ResumeAck{}, err
+		}
+		return ResumeAck{}, io.EOF
+	}
+	var env struct {
+		ResumeAck
+		Err string `json:"error"`
+	}
+	if err := json.Unmarshal(c.sc.Bytes(), &env); err != nil {
+		return ResumeAck{}, fmt.Errorf("server: bad resume ack: %w", err)
+	}
+	if env.Err != "" {
+		return ResumeAck{}, &ServerError{Msg: env.Err}
+	}
+	if !env.ResumeAck.ResumeAck {
+		return ResumeAck{}, fmt.Errorf("server: expected resume ack, got %q", c.sc.Text())
+	}
+	return env.ResumeAck, nil
 }
 
 func (c *Client) send(rec Record) error {

@@ -8,7 +8,10 @@
 // -fleet report.json (a cmd/prognosload -report file), the fleet's serving
 // latency/throughput report is merged into the envelope under "fleet", so
 // one BENCH_<date>.json tracks the sim substrate and the serving path
-// side by side.
+// side by side. Chaos-run reports carry their resilience counters
+// (lost_samples, reconnects, resumed_sessions, cold_resumes, chaos_seed,
+// chaos_faults) in the same section, so reconnect behaviour is diffable
+// across commits too.
 package main
 
 import (
