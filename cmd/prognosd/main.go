@@ -26,17 +26,29 @@
 // poll. The same snapshot is printed at -stats-interval (when set) and at
 // shutdown.
 //
+// Observability: -ops-addr starts the out-of-band HTTP ops plane
+// (internal/obs) — Prometheus text-format /metrics over every internal
+// counter plus the per-request latency histogram, /healthz and a
+// drain-aware /readyz, the serving-pipeline event trace at /events
+// (JSONL), and net/http/pprof under /debug/pprof/. -trace-file
+// additionally mirrors every trace event to a JSONL file as it is
+// emitted. The ops plane outlives the session listener during shutdown:
+// it stays scrapeable through the drain and stops only after the last
+// session finishes.
+//
 // Usage:
 //
 //	prognosd [-addr 127.0.0.1:7015] [-stats-interval 30s]
 //	         [-max-sessions 0] [-session-timeout 0] [-drain-timeout 10s]
 //	         [-resume-grace 30s] [-checkpoint dir] [-checkpoint-interval 10s]
+//	         [-ops-addr 127.0.0.1:9090] [-trace-file events.jsonl]
 //
 // Try it against a simulated drive with examples/livepredict, or load it
 // with a synthetic UE fleet via cmd/prognosload.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -57,7 +70,26 @@ func main() {
 	resumeGrace := flag.Duration("resume-grace", 30*time.Second, "window in which an interrupted tokened session may resume warm (0 = resume off)")
 	checkpointDir := flag.String("checkpoint", "", "directory for learner state checkpoints (empty = off)")
 	checkpointEvery := flag.Duration("checkpoint-interval", 10*time.Second, "periodic checkpoint interval when -checkpoint is set")
+	opsAddr := flag.String("ops-addr", "", "HTTP ops plane address (/metrics, /healthz, /readyz, /events, /debug/pprof); empty = off")
+	traceFile := flag.String("trace-file", "", "mirror serving-pipeline trace events to this JSONL file")
 	flag.Parse()
+
+	// The tracer exists whenever anything consumes it; a nil tracer makes
+	// every instrumentation site in the server a no-op.
+	var tracer *obs.Tracer
+	var traceSink *os.File
+	if *opsAddr != "" || *traceFile != "" {
+		tracer = obs.NewTracer(0)
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prognosd: trace-file: %v\n", err)
+				os.Exit(1)
+			}
+			traceSink = f
+			tracer.MirrorTo(f)
+		}
+	}
 
 	srv, err := server.ListenWith(*addr, server.Options{
 		MaxSessions:        *maxSessions,
@@ -65,12 +97,32 @@ func main() {
 		ResumeGrace:        *resumeGrace,
 		CheckpointDir:      *checkpointDir,
 		CheckpointInterval: *checkpointEvery,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("prognosd listening on %s\n", srv.Addr())
+
+	// ListenWith has already restored checkpoints synchronously, so by the
+	// time the ops plane is reachable the daemon is genuinely ready; the
+	// probe then only needs to watch for the drain.
+	var plane *obs.Plane
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterServerMetrics(reg, srv.Stats)
+		plane, err = obs.Listen(*opsAddr, obs.Config{
+			Registry: reg,
+			Tracer:   tracer,
+			Ready:    func() bool { return !srv.Draining() },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prognosd ops plane on %s\n", plane.Addr())
+	}
 
 	stop := make(chan struct{})
 	if *statsEvery > 0 {
@@ -93,8 +145,20 @@ func main() {
 	s := <-sig
 	close(stop)
 	fmt.Printf("prognosd: %v received, draining (up to %v)\n", s, *drainTimeout)
+	// Shutdown order matters: Drain flips /readyz to 503 the moment it
+	// starts (stop-accept), the ops plane keeps answering scrapes while
+	// in-flight sessions finish, and only after the drain completes does
+	// the plane itself go away.
 	if err := srv.Drain(*drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
+	}
+	if plane != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		plane.Shutdown(ctx)
+		cancel()
+	}
+	if traceSink != nil {
+		traceSink.Close()
 	}
 	printStats(srv)
 }

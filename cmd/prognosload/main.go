@@ -14,6 +14,7 @@
 //	            [-duration 10s] [-mode open|closed] [-carrier OpX]
 //	            [-arch NSA] [-route freeway] [-seed 1] [-ramp 1s]
 //	            [-dial-timeout 5s] [-reconnect 8] [-report fleet.json]
+//	            [-ops-addr 127.0.0.1:0]
 //	            [-chaos] [-chaos-seed 1] [-chaos-reset 0.05] ...
 //
 // Chaos mode (-chaos) routes the fleet through a deterministic fault-
@@ -54,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet seed; UE i drives seed+i*7919+1")
 	ramp := flag.Duration("ramp", time.Second, "window over which session starts are staggered")
 	reportPath := flag.String("report", "", "write the machine-readable fleet report JSON here")
+	opsAddr := flag.String("ops-addr", "", "ops plane to scrape into the report at end of run (self-serve runs start one here; 127.0.0.1:0 picks a port)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "per-connect dial timeout (0 = client default, 5s)")
 	reconnect := flag.Int("reconnect", 0, "reconnect attempts per fault (0 = default 8, negative = no retry)")
 	chaosOn := flag.Bool("chaos", false, "route the fleet through a deterministic fault-injecting proxy")
@@ -90,6 +92,7 @@ func main() {
 		Ramp:          *ramp,
 		DialTimeout:   *dialTimeout,
 		MaxReconnects: *reconnect,
+		OpsAddr:       *opsAddr,
 	}
 	if *selfServe {
 		cfg.Addr = ""
@@ -124,6 +127,10 @@ func main() {
 	if rep.Server != nil {
 		fmt.Printf("server: sessions %d  rejected %d  session errors %d  oversized %d\n",
 			rep.Server.Sessions, rep.Server.Rejected, rep.Server.SessionErrors, rep.Server.Oversized)
+	}
+	if rep.OpsMetrics != nil {
+		fmt.Printf("ops plane: %d series scraped  samples_total %.0f  sessions_total %.0f  latency p99 via histogram buckets\n",
+			len(rep.OpsMetrics), rep.OpsMetrics["prognos_samples_total"], rep.OpsMetrics["prognos_sessions_total"])
 	}
 	if *chaosOn {
 		fmt.Printf("chaos: seed %d  faults %d  reconnects %d  resumed %d  cold %d  lost samples %d\n",

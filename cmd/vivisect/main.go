@@ -6,6 +6,7 @@
 //	vivisect list                 # list available experiments
 //	vivisect <id> [...]           # run one or more experiments (e.g. fig8)
 //	vivisect all                  # run everything in paper order
+//	vivisect trace                # emit one drive's handover event trace
 //
 // Flags:
 //
@@ -17,6 +18,15 @@
 //	-cpuprofile F   write a pprof CPU profile of the run to F
 //	-memprofile F   write a pprof heap profile (taken at exit) to F
 //
+// Trace mode (`vivisect trace`) runs a single simulated drive with an
+// obs.Tracer attached and writes its handover-trigger event stream as
+// JSONL — the same schema the serving daemon exposes at /events, so one
+// toolchain debugs both the simulator's mobility decisions and the live
+// serving pipeline. -carrier/-arch/-route/-length shape the drive and
+// -trace-file picks the output (stdout by default). The stream carries
+// sim-time coordinates only (no wall clock), so equal seeds give
+// byte-identical traces.
+//
 // Tables are printed to stdout in registry order and are byte-identical
 // for any -jobs value at the same seed; live progress and the run summary
 // go to stderr.
@@ -26,13 +36,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sync"
 	"time"
 
+	"repro/internal/cellular"
 	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -43,6 +59,11 @@ func main() {
 	failfast := flag.Bool("failfast", false, "cancel pending experiments after the first error")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (at exit) to this file")
+	carrier := flag.String("carrier", "OpX", "trace mode: carrier profile (OpX/OpY/OpZ)")
+	archName := flag.String("arch", "NSA", "trace mode: architecture (LTE/NSA/SA)")
+	routeName := flag.String("route", "freeway", "trace mode: drive route kind (freeway/city-loop)")
+	lengthM := flag.Float64("length", 20000, "trace mode: route length in metres")
+	traceFile := flag.String("trace-file", "", "trace mode: write the event JSONL here (default stdout)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -59,6 +80,8 @@ func main() {
 			fmt.Printf("%-8s %s\n", s.ID, s.Paper)
 		}
 		return
+	case "trace":
+		os.Exit(runTrace(*seed, *carrier, *archName, *routeName, *lengthM, *traceFile))
 	case "all":
 		specs = experiments.All()
 	default:
@@ -90,6 +113,63 @@ func main() {
 		}
 	}
 	os.Exit(code)
+}
+
+// runTrace simulates one drive with an event tracer attached and writes
+// the handover-trigger stream as JSONL. The tracer's wall clock is
+// disabled so the output is a pure function of the configuration — equal
+// seeds diff clean.
+func runTrace(seed int64, carrierName, archName, routeName string, lengthM float64, outPath string) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "vivisect: trace: %v\n", err)
+		return 1
+	}
+	carrier, err := topology.CarrierByName(carrierName)
+	if err != nil {
+		return fail(err)
+	}
+	arch, err := cellular.ParseArch(archName)
+	if err != nil {
+		return fail(err)
+	}
+	route, err := geo.ParseRouteKind(routeName)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Size the ring to the drive: handover counts grow with route length
+	// (roughly one HO per 100 m in dense city deployments), so 1<<16
+	// comfortably holds any configurable drive without ever dropping.
+	tracer := obs.NewTracer(1 << 16)
+	tracer.SetWallClock(nil)
+	log, err := sim.Run(sim.Config{
+		Carrier:      carrier,
+		Arch:         arch,
+		RouteKind:    route,
+		RouteLengthM: lengthM,
+		Seed:         seed,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tracer.WriteJSONL(w); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: %s/%s %s drive, seed %d: %d samples, %d reports, %d handovers, %d events\n",
+		carrier.Name, arch, route, seed,
+		len(log.Samples), len(log.Reports), len(log.Handovers), tracer.Total())
+	return 0
 }
 
 // startProfiles begins CPU profiling (when requested) and returns a stop
@@ -220,7 +300,7 @@ func summarize(results []experiments.Result, wall time.Duration) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `vivisect regenerates the paper's tables and figures.
 
-usage: vivisect [flags] list | all | <experiment-id> [...]
+usage: vivisect [flags] list | all | trace | <experiment-id> [...]
 
 flags:
 `)

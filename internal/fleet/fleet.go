@@ -28,6 +28,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -102,6 +103,14 @@ type Config struct {
 	// resilient client's default of 8; negative = a single attempt, i.e.
 	// no retries). Structured server rejections always fail fast.
 	MaxReconnects int
+	// OpsAddr wires the run to an HTTP ops plane (internal/obs). For a
+	// self-serve run it is the address the fleet starts one on ("127.0.0.1:0"
+	// picks a free port); for an external server it is the address of that
+	// server's existing ops plane. Either way the run scrapes /metrics when
+	// the load finishes and folds the counters into Report.OpsMetrics, so a
+	// report carries both sides of the ledger: what the fleet sent and what
+	// the server says it served. Empty disables the scrape.
+	OpsAddr string
 	// Chaos, when set, interposes a fault-injecting proxy (internal/chaos)
 	// between the fleet and the server: UEs dial the proxy, the proxy
 	// forwards to the real server through seeded per-connection fault
@@ -205,6 +214,11 @@ type Report struct {
 	// Server is the served instance's own snapshot (always present for
 	// self-serve runs; best-effort via the stats endpoint otherwise).
 	Server *metrics.ServerSnapshot `json:"server,omitempty"`
+	// OpsMetrics is the end-of-run /metrics scrape of the ops plane
+	// (Config.OpsAddr), keyed by exposition sample name. Healthy runs
+	// satisfy prognos_samples_total == Samples and
+	// prognos_predictions_total == Predictions.
+	OpsMetrics map[string]float64 `json:"ops_metrics,omitempty"`
 }
 
 // replay cycles one drive log as an endless, time-monotone stream: when
@@ -271,6 +285,24 @@ func Run(cfg Config) (*Report, error) {
 		}
 		defer selfServe.Close()
 		addr = selfServe.Addr()
+	}
+	// A self-serve run with an OpsAddr gets its own ops plane over the
+	// in-process server's counters, exactly as prognosd -ops-addr would
+	// serve them; against an external server the configured address is
+	// assumed to be that daemon's already-running plane.
+	scrapeAddr := cfg.OpsAddr
+	if cfg.OpsAddr != "" && selfServe != nil {
+		reg := obs.NewRegistry()
+		obs.RegisterServerMetrics(reg, selfServe.Stats)
+		plane, err := obs.Listen(cfg.OpsAddr, obs.Config{
+			Registry: reg,
+			Ready:    func() bool { return !selfServe.Draining() },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: ops plane: %w", err)
+		}
+		defer plane.Close()
+		scrapeAddr = plane.Addr()
 	}
 	// With chaos enabled, UEs dial the fault-injecting proxy; stats still
 	// come from the server directly.
@@ -407,6 +439,13 @@ func Run(cfg Config) (*Report, error) {
 		rep.Server = &snap
 	} else if snap, err := server.FetchStats(addr); err == nil {
 		rep.Server = &snap
+	}
+	if scrapeAddr != "" {
+		m, err := obs.Scrape(scrapeAddr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: scraping ops plane: %w", err)
+		}
+		rep.OpsMetrics = m
 	}
 	return rep, nil
 }

@@ -193,3 +193,49 @@ func TestFleetRejectsBadConfig(t *testing.T) {
 		t.Error("OpX+SA accepted (OpX does not deploy SA)")
 	}
 }
+
+// TestOpsScrapeMatchesReport is the acceptance cross-check for the ops
+// plane: a self-serve run that starts one must end with scraped counters
+// exactly matching the fleet's own report. Any drift here means /metrics
+// is lying about the serving path.
+func TestOpsScrapeMatchesReport(t *testing.T) {
+	rep, err := Run(Config{
+		UEs:      4,
+		Duration: 600 * time.Millisecond,
+		Mode:     ModeOpen,
+		Seed:     11,
+		OpsAddr:  "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpsMetrics == nil {
+		t.Fatal("report carries no ops metrics despite OpsAddr being set")
+	}
+	if rep.Server == nil {
+		t.Fatal("self-serve run lost its server snapshot")
+	}
+	for name, want := range map[string]float64{
+		"prognos_samples_total":     float64(rep.Server.Samples),
+		"prognos_sessions_total":    float64(rep.Server.Sessions),
+		"prognos_predictions_total": float64(rep.Server.Predictions),
+	} {
+		got, ok := rep.OpsMetrics[name]
+		if !ok {
+			t.Errorf("scrape is missing %s", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s scraped %v, server counted %v", name, got, want)
+		}
+	}
+	// The fleet's client-side sample count must agree with the scrape too:
+	// every sample a UE sent was answered and counted exactly once.
+	if got := rep.OpsMetrics["prognos_samples_total"]; got != float64(rep.Samples) {
+		t.Errorf("scraped samples_total %v != fleet-side samples %d", got, rep.Samples)
+	}
+	// Each answered sample observes one request latency.
+	if got := rep.OpsMetrics["prognos_request_latency_seconds_count"]; got != float64(rep.Server.Samples) {
+		t.Errorf("latency histogram count %v != samples %d", got, rep.Server.Samples)
+	}
+}

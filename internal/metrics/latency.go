@@ -135,8 +135,10 @@ type LatencySnapshot struct {
 	// it is.
 	Count int64 `json:"count"`
 	// MeanUS is the exact arithmetic mean (from a running sum, not the
-	// buckets).
+	// buckets); SumUS the exact running sum itself (what a Prometheus
+	// histogram exposes as _sum).
 	MeanUS float64 `json:"mean_us"`
+	SumUS  float64 `json:"sum_us,omitempty"`
 	// MinUS and MaxUS are the exact extremes.
 	MinUS float64 `json:"min_us"`
 	MaxUS float64 `json:"max_us"`
@@ -163,6 +165,7 @@ func (h *Histogram) Snapshot() LatencySnapshot {
 	snap := LatencySnapshot{
 		Count:  n,
 		MeanUS: usOf(time.Duration(h.sumNS.Load() / n)),
+		SumUS:  usOf(time.Duration(h.sumNS.Load())),
 		MinUS:  usOf(h.Min()),
 		MaxUS:  usOf(h.Max()),
 		P50US:  usOf(h.Quantile(0.50)),

@@ -165,6 +165,8 @@ type ServerStats struct {
 	checkpointSaves atomic.Int64
 	checkpointLoads atomic.Int64
 	checkpointBytes atomic.Int64
+
+	latency Histogram
 }
 
 // NewServerStats returns a stats block with the uptime clock started.
@@ -230,6 +232,10 @@ func (s *ServerStats) CheckpointSaved(n int64) {
 // disk at startup.
 func (s *ServerStats) CheckpointRestored() { s.checkpointLoads.Add(1) }
 
+// ObserveLatency records one request's server-side serving latency (for
+// the prediction path: sample decode through response flush).
+func (s *ServerStats) ObserveLatency(d time.Duration) { s.latency.Observe(d) }
+
 // Snapshot returns a consistent-enough copy of the counters for export.
 func (s *ServerStats) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
@@ -251,6 +257,7 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		CheckpointSaves:    s.checkpointSaves.Load(),
 		CheckpointRestores: s.checkpointLoads.Load(),
 		CheckpointBytes:    s.checkpointBytes.Load(),
+		Latency:            s.latency.Snapshot(),
 	}
 }
 
@@ -289,4 +296,8 @@ type ServerSnapshot struct {
 	CheckpointSaves    int64 `json:"checkpoint_saves"`
 	CheckpointRestores int64 `json:"checkpoint_restores"`
 	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	// Latency is the server-side per-sample serving latency histogram
+	// (decode through response flush), the source of the ops plane's
+	// prognos_request_latency_seconds series.
+	Latency LatencySnapshot `json:"latency"`
 }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Config wires a Plane's endpoints. Every field is optional: a nil
+// Registry serves an empty /metrics, a nil Tracer an empty /events, and a
+// nil Ready func reports ready unconditionally.
+type Config struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Tracer backs /events.
+	Tracer *Tracer
+	// Ready is the /readyz probe: it should report true once the daemon
+	// can take traffic (listener up, checkpoint restore finished) and
+	// flip to false the moment a drain begins, so load balancers stop
+	// routing to a daemon that is finishing its last sessions.
+	Ready func() bool
+}
+
+// ContentType is the exposition content type /metrics serves.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewHandler builds the ops-plane HTTP handler: /metrics, /healthz,
+// /readyz, /events (JSONL, optional ?kind= filter) and the net/http/pprof
+// suite under /debug/pprof/. It is exported separately from Listen so
+// tests can drive it through httptest and embedders can mount it on an
+// existing mux.
+func NewHandler(c Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if c.Registry != nil {
+			c.Registry.Render(w) //nolint:errcheck // client gone mid-write
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and serving HTTP. Anything deeper
+		// belongs in /readyz.
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Ready != nil && !c.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if c.Tracer == nil {
+			return
+		}
+		kind := r.URL.Query().Get("kind")
+		enc := json.NewEncoder(w)
+		for _, e := range c.Tracer.Events() {
+			if kind != "" && e.Kind != kind {
+				continue
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+	// pprof must be mounted explicitly: the ops plane uses its own mux,
+	// never http.DefaultServeMux, so importing net/http/pprof elsewhere
+	// cannot leak profiling onto an unexpected listener.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "prognos ops plane\n\n/metrics\n/healthz\n/readyz\n/events\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Plane is a running ops-plane HTTP server.
+type Plane struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Listen starts an ops plane on addr (port 0 picks a free port) and
+// serves it on a background goroutine.
+func Listen(addr string, c Config) (*Plane, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	p := &Plane{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(c),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go p.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return p, nil
+}
+
+// Addr returns the bound address.
+func (p *Plane) Addr() string { return p.ln.Addr().String() }
+
+// Shutdown gracefully stops the plane, letting in-flight scrapes finish
+// until ctx expires. prognosd calls this after the session server has
+// drained, so /metrics stays scrapeable throughout the drain itself.
+func (p *Plane) Shutdown(ctx context.Context) error { return p.srv.Shutdown(ctx) }
+
+// Close force-closes the plane.
+func (p *Plane) Close() error { return p.srv.Close() }

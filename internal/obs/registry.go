@@ -1,0 +1,205 @@
+// Package obs is the out-of-band observability layer of the serving stack:
+// a dependency-free HTTP ops plane (Prometheus text-format /metrics,
+// /healthz, /readyz, /events, net/http/pprof) plus a bounded ring-buffer
+// event tracer for the serving pipeline and the simulator's handover
+// machinery.
+//
+// The paper's whole method is observation — XCAL and 5G Tracker expose
+// every measurement report, handover event and stack transition so §4–§6
+// can be measured. This package gives the reproduction's own serving
+// daemon the same property: every counter internal/metrics records is
+// scrapeable out of band, and the discrete events that drive the analysis
+// (session lifecycle, ho_score emissions, HO triggers, checkpoint writes)
+// stream through a Tracer that /events exposes as JSONL.
+//
+// Everything here is hand-rolled on the standard library: the exposition
+// encoder speaks `text/plain; version=0.0.4` directly rather than pulling
+// in a client library, matching the repo's no-new-dependencies rule.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// metricKind is the TYPE line vocabulary of the exposition format.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// metric is one registered series: a name, its metadata, and the collect
+// closure sampled at scrape time.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	// value collects a counter or gauge; hist collects a histogram.
+	value func() float64
+	hist  func() metrics.LatencySnapshot
+}
+
+// Registry holds the metrics the ops plane exposes. Collection is pull
+// based: registration stores a closure, and every render samples the live
+// value, so the registry adapts the existing atomic counters in
+// internal/metrics without any double bookkeeping on the hot path.
+//
+// A Registry is safe for concurrent registration and rendering.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// register stores one series, replacing any previous registration of the
+// same name (last writer wins, like repeated flag definitions).
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[m.name] = m
+}
+
+// Counter registers a monotonically increasing series. fn is sampled at
+// every scrape and must be safe for concurrent use.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, value: fn})
+}
+
+// Gauge registers a series that can go up and down.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, value: fn})
+}
+
+// Histogram registers a latency distribution. fn returns a
+// metrics.LatencySnapshot (the log-linear histogram export); the encoder
+// renders it as a classic Prometheus cumulative-bucket histogram with
+// second-valued `le` bounds.
+func (r *Registry) Histogram(name, help string, fn func() metrics.LatencySnapshot) {
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: fn})
+}
+
+// Render writes the registry in Prometheus text exposition format
+// (version 0.0.4), series sorted by name so output is deterministic and
+// golden-testable.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	// Collect outside the registry lock: collect closures may themselves
+	// take locks (e.g. a server stats snapshot) and must not nest inside
+	// ours.
+	var b strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		if m.kind == kindHistogram {
+			renderHistogram(&b, m.name, m.hist())
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.value()))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderHistogram emits the cumulative `le` bucket series plus _sum and
+// _count. The log-linear snapshot stores per-bucket counts with
+// microsecond upper bounds; the exposition uses cumulative counts with
+// second-valued bounds, which is what PromQL's histogram_quantile expects.
+func renderHistogram(b *strings.Builder, name string, snap metrics.LatencySnapshot) {
+	var cum int64
+	for _, bk := range snap.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatValue(bk.UpperUS/1e6), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(snap.SumUS/1e6))
+	fmt.Fprintf(b, "%s_count %d\n", name, snap.Count)
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable float, so integral values print without a
+// decimal point.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes the characters the exposition format reserves in
+// HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// RegisterServerMetrics registers the full prognosd metric family over a
+// server-stats snapshot function (typically (*server.Server).Stats). Every
+// scrape takes fresh snapshots, so the series always reflect the live
+// atomic counters.
+func RegisterServerMetrics(r *Registry, snap func() metrics.ServerSnapshot) {
+	counter := func(name, help string, sel func(metrics.ServerSnapshot) int64) {
+		r.Counter(name, help, func() float64 { return float64(sel(snap())) })
+	}
+	gauge := func(name, help string, sel func(metrics.ServerSnapshot) int64) {
+		r.Gauge(name, help, func() float64 { return float64(sel(snap())) })
+	}
+
+	r.Gauge("prognos_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return snap().UptimeMS / 1e3 })
+	counter("prognos_sessions_total", "Prediction sessions accepted since start.",
+		func(s metrics.ServerSnapshot) int64 { return s.Sessions })
+	gauge("prognos_active_sessions", "Prediction sessions currently open.",
+		func(s metrics.ServerSnapshot) int64 { return s.Active })
+	counter("prognos_samples_total", "Radio samples streamed in by clients.",
+		func(s metrics.ServerSnapshot) int64 { return s.Samples })
+	counter("prognos_reports_total", "Sniffed measurement reports streamed in.",
+		func(s metrics.ServerSnapshot) int64 { return s.Reports })
+	counter("prognos_handovers_total", "Sniffed handover commands streamed in.",
+		func(s metrics.ServerSnapshot) int64 { return s.Handovers })
+	counter("prognos_predictions_total", "Prediction lines returned to clients.",
+		func(s metrics.ServerSnapshot) int64 { return s.Predictions })
+	counter("prognos_rejected_sessions_total", "Sessions turned away at the MaxSessions limit.",
+		func(s metrics.ServerSnapshot) int64 { return s.Rejected })
+	counter("prognos_session_errors_total", "Sessions that ended with a protocol or engine error.",
+		func(s metrics.ServerSnapshot) int64 { return s.SessionErrors })
+	counter("prognos_oversized_records_total", "Input records dropped for exceeding the line limit.",
+		func(s metrics.ServerSnapshot) int64 { return s.Oversized })
+	counter("prognos_interrupted_sessions_total", "Resumable sessions cut by a transport fault and parked.",
+		func(s metrics.ServerSnapshot) int64 { return s.Interrupted })
+	counter("prognos_resumed_sessions_total", "Reconnects that re-attached a parked warm instance.",
+		func(s metrics.ServerSnapshot) int64 { return s.Resumed })
+	gauge("prognos_parked_sessions", "Warm instances currently parked awaiting resume.",
+		func(s metrics.ServerSnapshot) int64 { return s.Parked })
+	counter("prognos_expired_parked_sessions_total", "Parked sessions dropped at the end of their grace window.",
+		func(s metrics.ServerSnapshot) int64 { return s.ParkedExpired })
+	counter("prognos_checkpoint_saves_total", "Checkpoint write passes completed.",
+		func(s metrics.ServerSnapshot) int64 { return s.CheckpointSaves })
+	counter("prognos_checkpoint_restores_total", "Snapshots restored from checkpoint files at startup.",
+		func(s metrics.ServerSnapshot) int64 { return s.CheckpointRestores })
+	gauge("prognos_checkpoint_bytes", "Bytes published by the most recent checkpoint pass.",
+		func(s metrics.ServerSnapshot) int64 { return s.CheckpointBytes })
+	r.Histogram("prognos_request_latency_seconds",
+		"Server-side per-sample serving latency (OnSample through response flush).",
+		func() metrics.LatencySnapshot { return snap().Latency })
+}

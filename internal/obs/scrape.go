@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseMetrics parses Prometheus text exposition into a flat
+// name → value map. Unlabelled series are keyed by bare name; labelled
+// series (histogram buckets) by the full `name{labels}` sample name. It
+// understands exactly the subset Render emits, which is all the fleet's
+// end-of-run cross-check needs.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: malformed exposition line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad sample value in %q: %w", line, err)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return out, nil
+}
+
+// Scrape fetches and parses /metrics from an ops plane at addr
+// (host:port). The fleet load generator calls this at the end of a run to
+// fold the server's own counters into its report.
+func Scrape(addr string) (map[string]float64, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("obs: scrape %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape %s: status %s", addr, resp.Status)
+	}
+	return ParseMetrics(resp.Body)
+}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cellular"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // replayBufCap bounds the per-session response replay buffer: a resumed
@@ -83,6 +85,13 @@ type parkedSession struct {
 // to checkpoints and future cold starts.
 func (s *Server) park(p *parkedSession) {
 	s.pushWarm(p.carrier, p.arch, p.prog.Snapshot())
+	s.opts.Tracer.Emit(obs.Event{
+		Kind:    obs.EvSessionPark,
+		Session: p.token,
+		Carrier: p.carrier,
+		Arch:    p.arch.String(),
+		RespSeq: p.seq,
+	})
 	p.expires = time.Now().Add(s.opts.ResumeGrace)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -217,6 +226,11 @@ func (s *Server) CheckpointNow() (int, error) {
 	}
 	if total > 0 {
 		s.stats.CheckpointSaved(int64(total))
+		s.opts.Tracer.Emit(obs.Event{
+			Kind:   obs.EvCheckpoint,
+			Bytes:  int64(total),
+			Detail: fmt.Sprintf("%d deployment contexts", len(entries)),
+		})
 	}
 	return total, firstErr
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ran"
 	"repro/internal/trace"
 )
@@ -151,6 +152,11 @@ type Options struct {
 	// CheckpointInterval is the periodic checkpoint cadence when
 	// CheckpointDir is set (default 10s).
 	CheckpointInterval time.Duration
+	// Tracer, when set, receives structured serving-pipeline events
+	// (session lifecycle, actionable ho_score emissions, checkpoint
+	// passes) for the ops plane's /events endpoint. Nil disables tracing
+	// at zero cost — obs.Tracer methods are nil-safe.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills the backoff bounds and the resilience defaults.
@@ -239,6 +245,19 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // observations streamed, predictions returned and error counters since
 // Listen.
 func (s *Server) Stats() metrics.ServerSnapshot { return s.stats.Snapshot() }
+
+// Draining reports whether the server has stopped accepting sessions
+// (Close or Drain has begun). The ops plane's /readyz probe keys off
+// this so load balancers stop routing to a draining daemon while its
+// in-flight sessions finish.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
 
 // stopAccept makes the accept loop exit; safe to call more than once.
 func (s *Server) stopAccept() {
@@ -463,6 +482,12 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 	defer s.releaseSlot()
 	s.stats.SessionOpened()
 	defer s.stats.SessionClosed()
+	s.opts.Tracer.Emit(obs.Event{
+		Kind:    obs.EvSessionOpen,
+		Session: hello.SessionToken,
+		Carrier: hello.Carrier,
+		Arch:    hello.Arch.String(),
+	})
 
 	// A tokened hello may resume a parked warm instance. Parked sessions
 	// hold no MaxSessions slot, so the slot acquired above is this conn's
@@ -481,6 +506,13 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 				prog, seq, buf, replay = p.prog, p.seq, p.buf, rs
 				resumed = true
 				s.stats.SessionResumed()
+				s.opts.Tracer.Emit(obs.Event{
+					Kind:    obs.EvSessionResume,
+					Session: hello.SessionToken,
+					Carrier: hello.Carrier,
+					Arch:    hello.Arch.String(),
+					RespSeq: seq,
+				})
 			}
 			// A replay gap means the client is missing responses the
 			// buffer no longer holds: drop the parked state and cold-start
@@ -559,6 +591,7 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			s.stats.AddHandover()
 			prog.OnHandover(*rec.HO)
 		case rec.Sample != nil:
+			reqStart := time.Now()
 			s.stats.AddSample()
 			prog.OnSample(*rec.Sample)
 			pred := prog.Predict()
@@ -588,6 +621,21 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 				}
 				return err
 			}
+			s.stats.ObserveLatency(time.Since(reqStart))
+			if pred.Type != cellular.HONone {
+				// Actionable prediction: the serving pipeline warned the
+				// application of an impending handover (§7's ho_score).
+				s.opts.Tracer.Emit(obs.Event{
+					Kind:    obs.EvHOScore,
+					Session: hello.SessionToken,
+					Carrier: hello.Carrier,
+					Arch:    hello.Arch.String(),
+					HOType:  pred.Type.String(),
+					Score:   pred.Score,
+					RespSeq: seq,
+					SimMS:   float64(rec.Sample.Time) / float64(time.Millisecond),
+				})
+			}
 			if samplesSinceWarm++; samplesSinceWarm >= warmPushEvery {
 				samplesSinceWarm = 0
 				s.pushWarm(hello.Carrier, hello.Arch, prog.Snapshot())
@@ -611,6 +659,13 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 	// genuinely finished client simply never resumes and the entry ages
 	// out of the table at the end of the grace window.
 	s.pushWarm(hello.Carrier, hello.Arch, prog.Snapshot())
+	s.opts.Tracer.Emit(obs.Event{
+		Kind:    obs.EvSessionClose,
+		Session: hello.SessionToken,
+		Carrier: hello.Carrier,
+		Arch:    hello.Arch.String(),
+		RespSeq: seq,
+	})
 	if resumable {
 		s.park(&parkedSession{
 			token:   hello.SessionToken,

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/throughput"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -40,6 +41,14 @@ type Config struct {
 	BearerMode throughput.BearerMode
 	// Seed drives all randomness; equal seeds give identical drives.
 	Seed int64
+	// Tracer, when set, receives one structured obs.EvHOTrigger event per
+	// scheduled handover (type, source/target cell, MR ordinal, sim time)
+	// — the same event stream the serving daemon exposes at /events, so
+	// paper-figure debugging can replay a drive's mobility decisions
+	// without diffing whole trace logs. Nil disables tracing; the tracer
+	// never influences the simulation (trace.Log output is byte-identical
+	// with or without it).
+	Tracer *obs.Tracer
 	// TopoOpts tunes deployment generation.
 	TopoOpts topology.Options
 	// SampleEveryN stores every Nth 20 Hz sample (default 1 = all). The

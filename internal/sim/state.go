@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/ran"
 	"repro/internal/throughput"
@@ -638,6 +639,27 @@ func (s *state) logHO(ho *pendingHO, band cellular.Band, coloc bool) {
 	}
 	ho.logged = true
 	s.log.Handovers = append(s.log.Handovers, ev)
+	s.traceHO(ev)
+}
+
+// traceHO mirrors one scheduled handover into the drive's tracer (when
+// one is attached) as the same obs.EvHOTrigger event the serving daemon
+// emits. MRSeq is the measurement-report ordinal at decision time, tying
+// the trigger back to the MR sequence that fired the policy.
+func (s *state) traceHO(ev cellular.HandoverEvent) {
+	if s.cfg.Tracer == nil {
+		return
+	}
+	s.cfg.Tracer.Emit(obs.Event{
+		Kind:    obs.EvHOTrigger,
+		SimMS:   float64(ev.Time) / float64(time.Millisecond),
+		Carrier: s.cfg.Carrier.Name,
+		Arch:    s.cfg.Arch.String(),
+		HOType:  ev.Type.String(),
+		Source:  ev.SourceCell,
+		Target:  ev.TargetCell,
+		MRSeq:   int64(len(s.log.Reports)),
+	})
 }
 
 // applyPending commits the attachment change at the end of T2, chaining the
@@ -765,6 +787,7 @@ func (s *state) chainSCGMobility(p geo.Point) {
 		ev.TargetCell = target.GlobalID()
 	}
 	s.log.Handovers = append(s.log.Handovers, ev)
+	s.traceHO(ev)
 }
 
 // logSample records the 20 Hz cross-layer sample.
