@@ -1,6 +1,6 @@
 # Development targets; CI runs `make ci` (see .github/workflows/ci.yml).
 
-.PHONY: ci check race test cover bench bench-json loadtest chaos
+.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat
 
 # CI umbrella: everything the merge gate needs, cheapest signal first.
 ci: check race cover
@@ -60,18 +60,33 @@ chaos:
 		-chaos-reset 0.2 -chaos-partial 0.3 -chaos-stall 0.1 \
 		-chaos-latency 0.25 -chaos-accept 0.02
 
-# Perf trajectory tracking: run the substrate micro-benchmarks plus a
-# serving-path smoke fleet and commit the result as BENCH_<utc-date>.json
+# Wire-protocol interop smoke: a mixed-framing fleet (even UEs binary,
+# odd JSONL — see docs/PROTOCOL.md) with a pipelining window, against an
+# in-process server under the race detector. Every sample must earn a
+# prediction whichever framing carried it; prognosload exits non-zero
+# otherwise. CI runs this as its own job.
+protocol-compat:
+	go run -race ./cmd/prognosload -selfserve -ues 16 -duration 5s \
+		-mode closed -ramp 500ms -framing mixed -window 4
+
+# Perf trajectory tracking: run the substrate micro-benchmarks plus two
+# serving-path fleets and commit the result as BENCH_<utc-date>.json
 # (see docs/ARCHITECTURE.md §Performance for how to read and compare the
-# files). The fleet report is merged into the envelope under "fleet".
+# files). The open-loop report lands in the envelope under "fleet", the
+# closed-loop capacity run (binary framing, window 16 — the serving
+# path's headline predictions/s) under "fleet_closed".
 # `date -u` pins the filename to UTC so a nightly run names the same file
 # no matter which timezone the runner happens to be in.
 BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPatternMatch)$$
 FLEET_REPORT ?= /tmp/benchjson-fleet.json
+FLEET_CLOSED_REPORT ?= /tmp/benchjson-fleet-closed.json
 bench-json:
 	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode open \
 		-ramp 1s -report $(FLEET_REPORT)
+	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode closed \
+		-ramp 1s -framing binary -window 16 -report $(FLEET_CLOSED_REPORT)
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| go run ./tools/benchjson -fleet $(FLEET_REPORT) \
+			-fleet-closed $(FLEET_CLOSED_REPORT) \
 		> BENCH_$$(date -u +%Y-%m-%d).json
 	@ls BENCH_$$(date -u +%Y-%m-%d).json

@@ -4,7 +4,10 @@
 // and architecture, then streams its cross-layer observations as JSONL
 // records ({"sample":...}, {"report":...}, {"ho":...}); the daemon answers
 // every sample with a prediction line carrying the expected handover type
-// and its ho_score.
+// and its ho_score. A hello carrying "framing":"binary" switches the rest
+// of the session to the length-prefixed binary framing high-rate fleets
+// use; docs/PROTOCOL.md is the normative wire specification for both
+// framings, and the daemon serves JSONL and binary sessions side by side.
 //
 // Hardening: -max-sessions bounds concurrent prediction sessions (extra
 // sessions receive a structured {"error":...} line and are closed),

@@ -13,9 +13,17 @@
 //	prognosload [-addr 127.0.0.1:7015 | -selfserve] [-ues 64]
 //	            [-duration 10s] [-mode open|closed] [-carrier OpX]
 //	            [-arch NSA] [-route freeway] [-seed 1] [-ramp 1s]
+//	            [-framing jsonl|binary|mixed] [-window 1]
 //	            [-dial-timeout 5s] [-reconnect 8] [-report fleet.json]
 //	            [-ops-addr 127.0.0.1:0]
 //	            [-chaos] [-chaos-seed 1] [-chaos-reset 0.05] ...
+//
+// -framing selects the wire framing the UEs negotiate (docs/PROTOCOL.md):
+// jsonl (default), binary, or mixed (even UEs binary, odd JSONL — the
+// interop smoke `make protocol-compat` runs). -window sets the closed-loop
+// pipelining window: with -window W > 1 each UE keeps W samples in flight
+// and batches its write flushes, which is how the serving path's peak
+// predictions/s is measured (see EXPERIMENTS.md).
 //
 // Chaos mode (-chaos) routes the fleet through a deterministic fault-
 // injecting proxy (internal/chaos): every connection draws a seeded fault
@@ -53,6 +61,8 @@ func main() {
 	archName := flag.String("arch", "NSA", "architecture (LTE/NSA/SA)")
 	routeName := flag.String("route", "freeway", "drive route kind (freeway/city-loop)")
 	seed := flag.Int64("seed", 1, "fleet seed; UE i drives seed+i*7919+1")
+	framing := flag.String("framing", "jsonl", "wire framing: jsonl, binary, or mixed (even UEs binary)")
+	window := flag.Int("window", 1, "closed-loop pipelining window (samples in flight per UE)")
 	ramp := flag.Duration("ramp", time.Second, "window over which session starts are staggered")
 	reportPath := flag.String("report", "", "write the machine-readable fleet report JSON here")
 	opsAddr := flag.String("ops-addr", "", "ops plane to scrape into the report at end of run (self-serve runs start one here; 127.0.0.1:0 picks a port)")
@@ -90,6 +100,8 @@ func main() {
 		Route:         route,
 		Seed:          *seed,
 		Ramp:          *ramp,
+		Framing:       *framing,
+		ClosedWindow:  *window,
 		DialTimeout:   *dialTimeout,
 		MaxReconnects: *reconnect,
 		OpsAddr:       *opsAddr,
@@ -109,8 +121,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("prognosload: %d UEs × %v, %s loop, %s/%s on %s\n",
-		cfg.UEs, cfg.Duration, m, cfg.Carrier, arch, route)
+	fmt.Printf("prognosload: %d UEs × %v, %s loop (%s framing, window %d), %s/%s on %s\n",
+		cfg.UEs, cfg.Duration, m, *framing, *window, cfg.Carrier, arch, route)
 	rep, err := fleet.Run(cfg)
 	if err != nil {
 		fatal(err)

@@ -50,7 +50,7 @@ func Replay(p Predictor, log *trace.Log) []TickPrediction {
 		}
 		p.OnSample(s)
 		pred := p.Predict()
-		out = append(out, TickPrediction{Time: s.Time, Type: pred.Type, PatternKey: pred.Pattern.Key()})
+		out = append(out, TickPrediction{Time: s.Time, Type: pred.Type, PatternKey: pred.PatternKey})
 	}
 	return out
 }

@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/cellular"
+
+// The prediction hot path derives a learner key for every observed and
+// forecast measurement report, every sample tick. The key alphabet is tiny
+// and fixed — one base key per (tech, event) pair, plus the "s"/"d" NR-A3
+// gNB hints and the "+" repeat marker — so all variants are interned once at
+// init and the per-tick derivations become allocation-free table lookups.
+
+// keyVariant holds the interned strings for one (tech, event) base key.
+type keyVariant struct {
+	base string // e.g. "A2", "NR-A3"
+	s    string // same-gNB hint, e.g. "NR-A3s"
+	d    string // different-gNB hint, e.g. "NR-A3d"
+}
+
+var (
+	// internedKeys is indexed [tech][event].
+	internedKeys [2][cellular.EventPeriodic + 1]keyVariant
+	// plusVariants maps every interned key to its interned "+"-suffixed
+	// repeat variant (e.g. "NR-A3s" → "NR-A3s+").
+	plusVariants map[string]string
+	// hoKeys interns the HO pseudo-keys that seed a phase ("HO:LTEH", ...).
+	hoKeys map[cellular.HOType]string
+)
+
+func init() {
+	plusVariants = make(map[string]string)
+	for _, tech := range []cellular.Tech{cellular.TechLTE, cellular.TechNR} {
+		for ev := cellular.EventA1; ev <= cellular.EventPeriodic; ev++ {
+			mr := cellular.MeasurementReport{Event: ev, Tech: tech}
+			base := mr.Key()
+			v := keyVariant{base: base, s: base + "s", d: base + "d"}
+			internedKeys[tech][ev] = v
+			for _, k := range []string{v.base, v.s, v.d} {
+				plusVariants[k] = k + "+"
+			}
+		}
+	}
+	hoKeys = make(map[cellular.HOType]string)
+	for _, h := range append(cellular.AllHOTypes(), cellular.HONone) {
+		hoKeys[h] = HOKeyPrefix + h.String()
+	}
+}
+
+// internedVariant returns the interned variants for a (tech, event) pair,
+// or false for values outside the known alphabet (callers then fall back to
+// allocating formatting, preserving behaviour for exotic inputs).
+func internedVariant(tech cellular.Tech, ev cellular.EventType) (keyVariant, bool) {
+	if tech < 0 || int(tech) >= len(internedKeys) || ev < 0 || int(ev) >= len(internedKeys[0]) {
+		return keyVariant{}, false
+	}
+	return internedKeys[tech][ev], true
+}
+
+// plusOf returns the interned "+"-suffixed repeat variant of key.
+func plusOf(key string) string {
+	if v, ok := plusVariants[key]; ok {
+		return v
+	}
+	return key + "+"
+}
+
+// hoKey returns the interned phase-seeding pseudo-key for a handover type.
+func hoKey(h cellular.HOType) string {
+	if k, ok := hoKeys[h]; ok {
+		return k
+	}
+	return HOKeyPrefix + h.String()
+}

@@ -83,12 +83,24 @@ func (c LearnerConfig) withDefaults() LearnerConfig {
 	return c
 }
 
+// patEntry is one anchor-index slot: the stored pattern plus its canonical
+// key (the same interned string the patterns map is keyed by, so match can
+// hand out the identity without re-joining the sequence).
+type patEntry struct {
+	key string
+	pat *Pattern
+}
+
 // DecisionLearner learns carrier handover logic online from the stream of
 // (MR sequence, HO command) phases.
 type DecisionLearner struct {
 	cfg      LearnerConfig
 	patterns map[string]*Pattern
-	phase    int
+	// byLast indexes patterns by their final (anchor) key. Match only ever
+	// considers patterns anchored at the sequence's newest evidence, so the
+	// hot path scans one short bucket instead of the whole store.
+	byLast map[string][]patEntry
+	phase  int
 	// learned/evicted count lifetime pattern churn (§7.3 reports these
 	// rates).
 	learned int
@@ -97,7 +109,42 @@ type DecisionLearner struct {
 
 // NewDecisionLearner creates a learner.
 func NewDecisionLearner(cfg LearnerConfig) *DecisionLearner {
-	return &DecisionLearner{cfg: cfg.withDefaults(), patterns: make(map[string]*Pattern)}
+	return &DecisionLearner{
+		cfg:      cfg.withDefaults(),
+		patterns: make(map[string]*Pattern),
+		byLast:   make(map[string][]patEntry),
+	}
+}
+
+// index adds a pattern to the anchor index (replacing any entry already
+// holding its key, e.g. a Bootstrap overwrite).
+func (l *DecisionLearner) index(key string, p *Pattern) {
+	last := p.Seq[len(p.Seq)-1]
+	bucket := l.byLast[last]
+	for i := range bucket {
+		if bucket[i].key == key {
+			bucket[i].pat = p
+			return
+		}
+	}
+	l.byLast[last] = append(bucket, patEntry{key: key, pat: p})
+}
+
+// unindex removes a pattern from the anchor index.
+func (l *DecisionLearner) unindex(key string, p *Pattern) {
+	last := p.Seq[len(p.Seq)-1]
+	bucket := l.byLast[last]
+	for i := range bucket {
+		if bucket[i].key == key {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(l.byLast, last)
+		return
+	}
+	l.byLast[last] = bucket
 }
 
 // ObservePhase consumes one completed phase: the MR keys observed since the
@@ -131,7 +178,9 @@ func (l *DecisionLearner) ObservePhase(keys []string, ho cellular.HOType) {
 		} else {
 			cp := make([]string, n)
 			copy(cp, seq)
-			l.patterns[key] = &Pattern{Seq: cp, HO: ho, Support: 1, LastPhase: l.phase}
+			p := &Pattern{Seq: cp, HO: ho, Support: 1, LastPhase: l.phase}
+			l.patterns[key] = p
+			l.index(key, p)
 			l.learned++
 		}
 	}
@@ -143,6 +192,7 @@ func (l *DecisionLearner) evict() {
 	for k, p := range l.patterns {
 		if l.phase-p.LastPhase > l.cfg.FreshnessPhases {
 			delete(l.patterns, k)
+			l.unindex(k, p)
 			l.evicted++
 		}
 	}
@@ -158,8 +208,12 @@ func (l *DecisionLearner) evict() {
 		return ps[i].LastPhase < ps[j].LastPhase
 	})
 	for _, p := range ps[:len(ps)-l.cfg.MaxPatterns] {
-		delete(l.patterns, p.Key())
-		l.evicted++
+		key := p.Key()
+		if stored, ok := l.patterns[key]; ok {
+			delete(l.patterns, key)
+			l.unindex(key, stored)
+			l.evicted++
+		}
 	}
 }
 
@@ -170,7 +224,9 @@ func (l *DecisionLearner) Bootstrap(patterns []Pattern) {
 		cp := p
 		cp.Seq = append([]string(nil), p.Seq...)
 		cp.LastPhase = l.phase
-		l.patterns[cp.Key()] = &cp
+		key := cp.Key()
+		l.patterns[key] = &cp
+		l.index(key, &cp)
 	}
 }
 
@@ -209,10 +265,13 @@ func (l *DecisionLearner) State() LearnerState {
 // re-stamps freshness). Restore-then-export round-trips byte-identically.
 func (l *DecisionLearner) SetState(st LearnerState) {
 	l.patterns = make(map[string]*Pattern, len(st.Patterns))
+	l.byLast = make(map[string][]patEntry, len(st.Patterns))
 	for _, p := range st.Patterns {
 		cp := p
 		cp.Seq = append([]string(nil), p.Seq...)
-		l.patterns[cp.Key()] = &cp
+		key := cp.Key()
+		l.patterns[key] = &cp
+		l.index(key, &cp)
 	}
 	l.phase = st.Phase
 	l.learned = st.Learned
@@ -235,16 +294,30 @@ const (
 // reliability (§7.2). The optional admit predicate applies the caller's
 // sanity checks (radio-state feasibility, reliability gating).
 func (l *DecisionLearner) Match(seq []string, admit func(Pattern) bool) (Pattern, float64, bool) {
-	if len(seq) == 0 {
+	bst, _, score, ok := l.match(seq, admit)
+	if !ok {
 		return Pattern{}, 0, false
+	}
+	cp := *bst
+	cp.Seq = append([]string(nil), bst.Seq...)
+	return cp, score, true
+}
+
+// match is the allocation-free core of Match: it scans only the anchor
+// bucket of seq's final key and returns the stored pattern plus its interned
+// canonical key. Callers must treat the returned *Pattern as read-only and
+// must not retain it across learner mutations (Match copies; the prediction
+// hot path reads and drops it within the same tick).
+func (l *DecisionLearner) match(seq []string, admit func(Pattern) bool) (*Pattern, string, float64, bool) {
+	if len(seq) == 0 {
+		return nil, "", 0, false
 	}
 	last := seq[len(seq)-1]
 	bestScore := -1.0
 	var bst *Pattern
-	for _, p := range l.patterns {
-		if p.Seq[len(p.Seq)-1] != last {
-			continue
-		}
+	bestKey := ""
+	for _, e := range l.byLast[last] {
+		p := e.pat
 		if p.Hits+p.Misses >= reliabilityTrials && p.Reliability() < reliabilityFloor {
 			continue
 		}
@@ -258,14 +331,13 @@ func (l *DecisionLearner) Match(seq []string, admit func(Pattern) bool) (Pattern
 		if score > bestScore {
 			bestScore = score
 			bst = p
+			bestKey = e.key
 		}
 	}
 	if bst == nil {
-		return Pattern{}, 0, false
+		return nil, "", 0, false
 	}
-	cp := *bst
-	cp.Seq = append([]string(nil), bst.Seq...)
-	return cp, bestScore, true
+	return bst, bestKey, bestScore, true
 }
 
 // Feedback records the outcome of a prediction made from the pattern with

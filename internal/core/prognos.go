@@ -43,6 +43,10 @@ type Prediction struct {
 	Similarity float64
 	// Lead estimates how far ahead the HO will occur.
 	Lead time.Duration
+	// PatternKey is the canonical identity of the matched pattern ("" when
+	// Type is HONone). It is an interned string — hot paths (core.Replay,
+	// the serving loop) read it without the allocation Pattern.Key() costs.
+	PatternKey string
 	// Pattern is the matched pattern (empty when Type is HONone).
 	Pattern Pattern
 }
@@ -81,6 +85,15 @@ type Prognos struct {
 	activeKey      string
 	activeType     cellular.HOType
 	activeForecast bool
+
+	// Per-tick scratch, reused so the steady-state Predict path allocates
+	// nothing: the candidate key sequence and the forecast-report buffer.
+	seqScratch  []string
+	predScratch []PredictedReport
+	// admitObserved/admitForecast are the match sanity predicates, built
+	// once in New so Predict does not allocate a closure per call.
+	admitObserved func(Pattern) bool
+	admitForecast func(Pattern) bool
 }
 
 // New creates a Prognos instance.
@@ -109,13 +122,22 @@ func New(cfg Config) (*Prognos, error) {
 	if predSteps < 1 {
 		predSteps = 1
 	}
-	return &Prognos{
+	p := &Prognos{
 		cfg:     cfg,
 		report:  NewReportPredictor(cfg.EventConfigs, cfg.SmootherWindow, histSteps, predSteps, stepDur),
 		learner: NewDecisionLearner(cfg.Learner),
 		scores:  cfg.Scores,
 		stepDur: stepDur,
-	}, nil
+	}
+	p.admitObserved = func(pat Pattern) bool { return p.admit(pat.HO) }
+	// Forecast-anchored predictions only use patterns whose reliability has
+	// been proven through observed-anchor feedback: forecasts are the
+	// early-warning extension of trusted rules, not a vehicle for unvetted
+	// ones.
+	p.admitForecast = func(pat Pattern) bool {
+		return p.admit(pat.HO) && pat.Hits+pat.Misses >= 5 && pat.Reliability() >= 0.5
+	}
+	return p, nil
 }
 
 // Bootstrap pre-loads learned patterns (Fig. 15's warm start).
@@ -141,14 +163,19 @@ func (p *Prognos) OnSample(s trace.Sample) {
 // network's response to an NR-A3 differs precisely on that distinction
 // (SCG Modification within the gNB vs SCG Change across gNBs).
 func keyFor(mr cellular.MeasurementReport) string {
-	k := mr.Key()
+	v, ok := internedVariant(mr.Tech, mr.Event)
+	if !ok {
+		// Outside the interned alphabet: fall back to formatting.
+		v = keyVariant{base: mr.Key()}
+		v.s, v.d = v.base+"s", v.base+"d"
+	}
 	if mr.Tech == cellular.TechNR && mr.Event == cellular.EventA3 && mr.NeighborPCI != 0 {
 		if pciSameGNB(mr.ServingPCI, mr.NeighborPCI) {
-			return k + "s"
+			return v.s
 		}
-		return k + "d"
+		return v.d
 	}
-	return k
+	return v.base
 }
 
 // pciSameGNB reports whether two NR PCIs belong to the same gNB under the
@@ -174,11 +201,11 @@ func (p *Prognos) OnReport(mr cellular.MeasurementReport) {
 	// NR-A2 reports), so repetition itself is evidence.
 	if n := len(p.phaseKeys); n > 0 {
 		last := p.phaseKeys[n-1]
-		if last == k+"+" {
+		if last == plusOf(k) {
 			return
 		}
 		if last == k {
-			k += "+"
+			k = plusOf(k)
 		}
 	}
 	p.phaseKeys = append(p.phaseKeys, k)
@@ -224,7 +251,7 @@ func (p *Prognos) OnHandover(ho cellular.HandoverEvent) {
 	p.learner.ObservePhase(p.phaseKeys, ho.Type)
 	p.phaseKeys = p.phaseKeys[:0]
 	p.keyTimes = p.keyTimes[:0]
-	p.phaseKeys = append(p.phaseKeys, HOKeyPrefix+ho.Type.String())
+	p.phaseKeys = append(p.phaseKeys, hoKey(ho.Type))
 	p.keyTimes = append(p.keyTimes, ho.Time)
 	p.lastKeyAt = ho.Time
 }
@@ -263,11 +290,12 @@ func (p *Prognos) admit(ho cellular.HOType) bool {
 // pattern until new observed evidence arrives.
 func (p *Prognos) Predict() Prediction {
 	p.prunePhase(p.now)
-	seq := append([]string(nil), p.phaseKeys...)
+	seq := append(p.seqScratch[:0], p.phaseKeys...)
 	nObserved := len(seq)
 	var preds []PredictedReport
 	if p.cfg.UseReportPredictor {
-		preds = p.report.Predict()
+		preds = p.report.PredictInto(p.predScratch[:0])
+		p.predScratch = preds
 		for _, pr := range preds {
 			key := p.predictedKey(pr)
 			if len(seq) > 0 && seq[len(seq)-1] == key {
@@ -276,37 +304,29 @@ func (p *Prognos) Predict() Prediction {
 			seq = append(seq, key)
 		}
 	}
+	p.seqScratch = seq
 	if len(seq) == 0 {
 		return Prediction{Type: cellular.HONone, Score: 1}
 	}
 
-	admitObserved := func(pat Pattern) bool { return p.admit(pat.HO) }
-	// Forecast-anchored predictions only use patterns whose reliability has
-	// been proven through observed-anchor feedback: forecasts are the
-	// early-warning extension of trusted rules, not a vehicle for unvetted
-	// ones.
-	admitForecast := func(pat Pattern) bool {
-		return p.admit(pat.HO) && pat.Hits+pat.Misses >= 5 && pat.Reliability() >= 0.5
-	}
-
-	var bestPat Pattern
+	var bestPat *Pattern
+	bestKey := ""
 	bestSim := -1.0
-	found := false
 	bestForecast := false
 	tryAnchor := func(cut int) {
 		if cut < 1 || cut > len(seq) {
 			return
 		}
-		admit := admitObserved
+		admit := p.admitObserved
 		if cut > nObserved {
-			admit = admitForecast
+			admit = p.admitForecast
 		}
-		pat, simil, ok := p.learner.Match(seq[:cut], admit)
+		pat, key, simil, ok := p.learner.match(seq[:cut], admit)
 		if ok && simil > bestSim {
 			bestSim = simil
 			bestPat = pat
+			bestKey = key
 			bestForecast = cut > nObserved
-			found = true
 		}
 	}
 	// The observed anchor only stands while fresh — a completing report in
@@ -320,7 +340,7 @@ func (p *Prognos) Predict() Prediction {
 	for cut := nObserved + 1; cut <= len(seq); cut++ {
 		tryAnchor(cut)
 	}
-	if !found {
+	if bestPat == nil {
 		// An observed-anchored run ending with no handover is a false
 		// alarm; a lapsed forecast run is neutral.
 		if p.activeKey != "" {
@@ -338,18 +358,21 @@ func (p *Prognos) Predict() Prediction {
 	}
 	// A different pattern taking over without an intervening handover
 	// resolves an observed-anchored prediction as a false alarm.
-	if k := bestPat.Key(); p.activeKey != "" && p.activeKey != k && !p.activeForecast {
+	if p.activeKey != "" && p.activeKey != bestKey && !p.activeForecast {
 		p.learner.Feedback(p.activeKey, false)
 	}
-	p.activeKey = bestPat.Key()
+	p.activeKey = bestKey
 	p.activeType = bestPat.HO
 	p.activeForecast = bestForecast
+	cp := *bestPat
+	cp.Seq = append([]string(nil), bestPat.Seq...)
 	return Prediction{
 		Type:       bestPat.HO,
 		Score:      p.scores.Score(bestPat.HO),
 		Similarity: bestSim,
 		Lead:       lead,
-		Pattern:    bestPat,
+		PatternKey: bestKey,
+		Pattern:    cp,
 	}
 }
 
@@ -357,19 +380,24 @@ func (p *Prognos) Predict() Prediction {
 // same NR-A3 gNB enrichment as keyFor using the latest observed PCIs, and
 // the repeat marker for forecast re-reports.
 func (p *Prognos) predictedKey(pr PredictedReport) string {
-	k := pr.Key()
+	v, ok := internedVariant(pr.Tech, pr.Event)
+	if !ok {
+		v = keyVariant{base: pr.Key()}
+		v.s, v.d = v.base+"s", v.base+"d"
+	}
+	k := v.base
 	if pr.Tech == cellular.TechNR && pr.Event == cellular.EventA3 {
 		s, n := p.lastSample.ServingNR, p.lastSample.NeighborNR
 		if s.Valid && n.Valid {
 			if pciSameGNB(s.PCI, n.PCI) {
-				k += "s"
+				k = v.s
 			} else {
-				k += "d"
+				k = v.d
 			}
 		}
 	}
 	if pr.Repeat {
-		k += "+"
+		k = plusOf(k)
 	}
 	return k
 }

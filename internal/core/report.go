@@ -272,7 +272,14 @@ func (r *ReportPredictor) SetState(st ReportState) {
 //  3. The condition is off — a rising edge is searched in the forecast RRS,
 //     and the report is predicted when the edge plus TTT fit the horizon.
 func (r *ReportPredictor) Predict() []PredictedReport {
-	var out []PredictedReport
+	return r.PredictInto(nil)
+}
+
+// PredictInto is Predict with caller-supplied storage: forecasts are
+// appended to out (which may be a reused scratch slice with length 0) so the
+// steady-state prediction path allocates nothing. The returned slice is only
+// valid until the caller's next PredictInto call with the same backing array.
+func (r *ReportPredictor) PredictInto(out []PredictedReport) []PredictedReport {
 	tttSteps := func(ttt time.Duration) int {
 		st := int(ttt / r.stepDur)
 		if st < 1 {

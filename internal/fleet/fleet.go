@@ -33,6 +33,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // Mode selects how UEs pace their sample stream.
@@ -81,6 +82,18 @@ type Config struct {
 	Duration time.Duration
 	// Mode picks open- or closed-loop pacing.
 	Mode Mode
+	// Framing selects the record framing the UEs speak: "jsonl" (or "",
+	// the default), "binary" (negotiated per docs/PROTOCOL.md), or
+	// "mixed" — even-indexed UEs binary, odd-indexed JSONL — which is how
+	// the protocol-compat suite exercises both framings against one
+	// server in one run.
+	Framing string
+	// ClosedWindow is the closed-loop pipelining window (default 1: the
+	// strict one-in-flight round trip). With a window W > 1 each UE
+	// sends a burst of W samples before reading the W predictions back,
+	// batching write flushes (ClientOptions.NoAutoFlush) so the syscall
+	// cost amortises across the window. Ignored in open loop.
+	ClosedWindow int
 	// Carrier ("OpX"/"OpY"/"OpZ", default "OpX") and Arch (default NSA)
 	// shape the drives and the per-session Prognos instances.
 	Carrier string
@@ -138,6 +151,9 @@ func (c Config) withDefaults() Config {
 	if c.SpeedMPS <= 0 {
 		c.SpeedMPS = 29
 	}
+	if c.ClosedWindow <= 0 {
+		c.ClosedWindow = 1
+	}
 	if c.Chaos != nil && c.Addr == "" && c.Server.ResumeGrace == 0 {
 		c.Server.ResumeGrace = 5 * time.Second
 	}
@@ -146,6 +162,19 @@ func (c Config) withDefaults() Config {
 
 // ueSeed derives UE i's drive seed from the fleet seed.
 func (c Config) ueSeed(i int) int64 { return c.Seed + int64(i)*7919 + 1 }
+
+// ueFraming picks UE i's wire framing under the fleet framing policy.
+func (c Config) ueFraming(i int) wire.Framing {
+	switch c.Framing {
+	case "binary":
+		return wire.FramingBinary
+	case "mixed":
+		if i%2 == 0 {
+			return wire.FramingBinary
+		}
+	}
+	return wire.FramingJSONL
+}
 
 // routeLengthM sizes each UE's route so an open-loop run of Duration never
 // wraps, within the simulator's bounds.
@@ -165,14 +194,18 @@ func (c Config) routeLengthM() float64 {
 // (when reachable) the server's own snapshot for cross-checking.
 type Report struct {
 	// UEs..Ramp echo the configuration the run used.
-	UEs        int     `json:"ues"`
-	Mode       string  `json:"mode"`
-	Carrier    string  `json:"carrier"`
-	Arch       string  `json:"arch"`
-	Route      string  `json:"route"`
-	Seed       int64   `json:"seed"`
-	DurationMS float64 `json:"duration_ms"`
-	RampMS     float64 `json:"ramp_ms,omitempty"`
+	UEs  int    `json:"ues"`
+	Mode string `json:"mode"`
+	// Framing echoes the fleet framing policy ("jsonl"/"binary"/"mixed");
+	// ClosedWindow the closed-loop pipelining window when it was >1.
+	Framing      string  `json:"framing,omitempty"`
+	ClosedWindow int     `json:"closed_window,omitempty"`
+	Carrier      string  `json:"carrier"`
+	Arch         string  `json:"arch"`
+	Route        string  `json:"route"`
+	Seed         int64   `json:"seed"`
+	DurationMS   float64 `json:"duration_ms"`
+	RampMS       float64 `json:"ramp_ms,omitempty"`
 	// GenMS is the wall time spent generating the fleet's drive traces
 	// (before any load was applied); WallMS the wall time of the load
 	// phase itself.
@@ -268,6 +301,11 @@ type counters struct {
 // Run executes one fleet load-generation run and returns its report.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Framing {
+	case "", "jsonl", "binary", "mixed":
+	default:
+		return nil, fmt.Errorf("fleet: unknown framing %q (want jsonl, binary or mixed)", cfg.Framing)
+	}
 	carrier, err := topology.CarrierByName(cfg.Carrier)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
@@ -401,6 +439,7 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{
 		UEs:        cfg.UEs,
 		Mode:       cfg.Mode.String(),
+		Framing:    cfg.Framing,
 		Carrier:    cfg.Carrier,
 		Arch:       cfg.Arch.String(),
 		Route:      cfg.Route.String(),
@@ -421,6 +460,9 @@ func Run(cfg Config) (*Report, error) {
 		ResumedSessions: tot.resumed.Load(),
 		ColdResumes:     tot.cold.Load(),
 		Latency:         hist.Snapshot(),
+	}
+	if cfg.Mode == ModeClosed && cfg.ClosedWindow > 1 {
+		rep.ClosedWindow = cfg.ClosedWindow
 	}
 	if proxy != nil {
 		rep.ChaosSeed = cfg.Chaos.Seed
@@ -469,13 +511,21 @@ func (u *ueRunner) run() error {
 	if u.cfg.MaxReconnects < 0 {
 		retry.MaxAttempts = 1
 	}
+	// Windowed closed loop batches write flushes; the open-loop
+	// writer/reader goroutine split requires auto-flush (see
+	// ClientOptions.NoAutoFlush).
+	batched := u.cfg.Mode == ModeClosed && u.cfg.ClosedWindow > 1
 	client, err := server.DialResilient(u.addr, server.ResilientOptions{
 		Hello: server.Hello{
 			Carrier:      u.cfg.Carrier,
 			Arch:         u.cfg.Arch,
 			SessionToken: fmt.Sprintf("fleet-%d-ue-%d", u.cfg.Seed, u.id),
 		},
-		Dial:  server.ClientOptions{DialTimeout: u.cfg.DialTimeout},
+		Dial: server.ClientOptions{
+			DialTimeout: u.cfg.DialTimeout,
+			Framing:     u.cfg.ueFraming(u.id),
+			NoAutoFlush: batched,
+		},
 		Retry: retry,
 		Seed:  u.cfg.ueSeed(u.id),
 	})
@@ -515,21 +565,51 @@ func (u *ueRunner) sendControl(client *server.ResilientClient, reports []cellula
 	return nil
 }
 
-// runClosed measures capacity: blocking round trips, back to back.
+// runClosed measures capacity. With ClosedWindow 1 it is the strict
+// blocking round trip, back to back. With a window W > 1 each iteration
+// pipelines a burst of W samples and then reads the W predictions back;
+// per-sample latency is still measured from that sample's own send time,
+// so queueing behind the rest of the burst shows up honestly.
 func (u *ueRunner) runClosed(client *server.ResilientClient) error {
 	deadline := time.Now().Add(u.cfg.Duration)
+	win := u.cfg.ClosedWindow
+	if win <= 1 {
+		for time.Now().Before(deadline) {
+			smp, reports, hos, off := u.replay.step()
+			if err := u.sendControl(client, reports, hos, off); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			if _, err := client.SendSample(smp); err != nil {
+				return err
+			}
+			u.hist.Observe(time.Since(t0))
+			u.tot.samples.Add(1)
+			u.tot.predictions.Add(1)
+		}
+		return nil
+	}
+	t0s := make([]time.Time, 0, win)
 	for time.Now().Before(deadline) {
-		smp, reports, hos, off := u.replay.step()
-		if err := u.sendControl(client, reports, hos, off); err != nil {
-			return err
+		t0s = t0s[:0]
+		for k := 0; k < win; k++ {
+			smp, reports, hos, off := u.replay.step()
+			if err := u.sendControl(client, reports, hos, off); err != nil {
+				return err
+			}
+			t0s = append(t0s, time.Now())
+			if err := client.SendSampleAsync(smp); err != nil {
+				return err
+			}
+			u.tot.samples.Add(1)
 		}
-		t0 := time.Now()
-		if _, err := client.SendSample(smp); err != nil {
-			return err
+		for _, t0 := range t0s {
+			if _, err := client.ReadResponse(); err != nil {
+				return err
+			}
+			u.hist.Observe(time.Since(t0))
+			u.tot.predictions.Add(1)
 		}
-		u.hist.Observe(time.Since(t0))
-		u.tot.samples.Add(1)
-		u.tot.predictions.Add(1)
 	}
 	return nil
 }

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetMixedFramingInterop is the wire-protocol interop check: half
+// the fleet negotiates binary framing, half stays on JSONL (Framing
+// "mixed"), all against one self-served server, with a pipelining window
+// so the binary UEs exercise batched flushing. Every sample must earn a
+// prediction regardless of which framing carried it — this is the smoke
+// `make protocol-compat` runs under -race.
+func TestFleetMixedFramingInterop(t *testing.T) {
+	rep, err := Run(Config{
+		UEs:          4,
+		Duration:     400 * time.Millisecond,
+		Mode:         ModeClosed,
+		Seed:         13,
+		Framing:      "mixed",
+		ClosedWindow: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("fleet errors: %+v", rep.Errors)
+	}
+	if rep.Samples == 0 || rep.Samples != rep.Predictions {
+		t.Errorf("samples/predictions = %d/%d, want equal and nonzero", rep.Samples, rep.Predictions)
+	}
+	if rep.Server == nil || rep.Server.Sessions != 4 || rep.Server.SessionErrors != 0 {
+		t.Errorf("server snapshot %+v", rep.Server)
+	}
+	if rep.Framing != "mixed" || rep.ClosedWindow != 4 {
+		t.Errorf("report echo framing=%q window=%d, want mixed/4", rep.Framing, rep.ClosedWindow)
+	}
+	if rep.Latency.Count != rep.Samples {
+		t.Errorf("windowed run recorded %d latencies for %d samples", rep.Latency.Count, rep.Samples)
+	}
+}
+
+// TestFleetBinaryOpenLoop pins the other quadrant: binary framing under
+// the paper's 20 Hz open-loop pacing, where flushes are per-sample rather
+// than batched. The schedule-bound invariant (every paced sample answered)
+// must hold exactly as it does for JSONL.
+func TestFleetBinaryOpenLoop(t *testing.T) {
+	rep, err := Run(Config{
+		UEs:      2,
+		Duration: 400 * time.Millisecond,
+		Mode:     ModeOpen,
+		Seed:     17,
+		Framing:  "binary",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("fleet errors: %+v", rep.Errors)
+	}
+	// 400ms at 20 Hz = 8 samples per UE, every one answered.
+	want := int64(2 * 8)
+	if rep.Samples != want || rep.Predictions != want {
+		t.Errorf("samples/predictions = %d/%d, want %d", rep.Samples, rep.Predictions, want)
+	}
+}
+
+// TestFleetRejectsBadFraming pins config validation for the new knob.
+func TestFleetRejectsBadFraming(t *testing.T) {
+	if _, err := Run(Config{UEs: 1, Duration: time.Millisecond, Framing: "protobuf"}); err == nil {
+		t.Error("unknown framing accepted")
+	}
+}

@@ -17,6 +17,13 @@ type LinearForecaster struct {
 	buf    []float64
 	head   int
 	filled int
+
+	// Cached least-squares fit. Forecast and Slope are called many times
+	// per pushed sample (once per look-ahead step per event config on the
+	// prediction hot path), so the O(window) regression is computed at most
+	// once per Push and reused until the history changes.
+	fitA, fitB float64
+	fitOK      bool
 }
 
 // NewLinearForecaster creates a forecaster with the given history window
@@ -35,14 +42,19 @@ func (f *LinearForecaster) Push(v float64) {
 	if f.filled < f.window {
 		f.filled++
 	}
+	f.fitOK = false
 }
 
 // Ready reports whether enough history has accumulated to fit a slope.
 func (f *LinearForecaster) Ready() bool { return f.filled >= 2 }
 
 // fit returns intercept a and slope b of the least-squares line through the
-// history, with x = 0 at the oldest retained sample.
+// history, with x = 0 at the oldest retained sample. The result is cached
+// until the history changes.
 func (f *LinearForecaster) fit() (a, b float64) {
+	if f.fitOK {
+		return f.fitA, f.fitB
+	}
 	n := float64(f.filled)
 	start := f.head - f.filled
 	if start < 0 {
@@ -59,10 +71,12 @@ func (f *LinearForecaster) fit() (a, b float64) {
 	}
 	den := n*sxx - sx*sx
 	if den == 0 {
-		return sy / n, 0
+		a, b = sy/n, 0
+	} else {
+		b = (n*sxy - sx*sy) / den
+		a = (sy - b*sx) / n
 	}
-	b = (n*sxy - sx*sy) / den
-	a = (sy - b*sx) / n
+	f.fitA, f.fitB, f.fitOK = a, b, true
 	return a, b
 }
 
@@ -97,6 +111,7 @@ func (f *LinearForecaster) Slope() float64 {
 func (f *LinearForecaster) Reset() {
 	f.head = 0
 	f.filled = 0
+	f.fitOK = false
 }
 
 // History returns the retained window contents oldest-first, for state

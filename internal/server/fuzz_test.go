@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/wire"
 )
 
 // FuzzSessionProtocol throws arbitrary byte streams at a full session —
@@ -44,6 +46,35 @@ func FuzzSessionProtocol(f *testing.F) {
 	f.Add(line(Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "fuzz-tok", LastSeq: 1 << 40}))
 	// An oversized record line (over maxLineBytes).
 	f.Add(append(append([]byte{}, hello...), append(bytes.Repeat([]byte("x"), maxLineBytes+1), '\n')...))
+
+	// Binary-framing shapes. The hello is always JSONL; what follows it is
+	// binary frames (docs/PROTOCOL.md §negotiation).
+	binHello := line(Hello{Carrier: "OpX", Arch: cellular.ArchNSA, Framing: string(wire.FramingBinary)})
+	frame := func(write func(*wire.FrameWriter) error) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := write(wire.NewFrameWriter(bw)); err != nil {
+			f.Fatal(err)
+		}
+		bw.Flush()
+		return buf.Bytes()
+	}
+	// Well-formed binary session: hello plus one sample frame.
+	f.Add(append(append([]byte{}, binHello...), frame(func(fw *wire.FrameWriter) error {
+		return fw.WriteSample(&sample)
+	})...))
+	// Truncated frame: header promises more payload than arrives.
+	full := frame(func(fw *wire.FrameWriter) error { return fw.WriteSample(&sample) })
+	f.Add(append(append([]byte{}, binHello...), full[:len(full)-40]...))
+	// Unknown frame type, wrong-direction (server→client) frame type, and a
+	// client record whose payload length lies about the fixed layout.
+	f.Add(append(append([]byte{}, binHello...), 0x07, 0, 0, 0, 0x7f))
+	f.Add(append(append([]byte{}, binHello...), 0x00, 0, 0, 0, wire.FrameResponse))
+	f.Add(append(append([]byte{}, binHello...), 0x03, 0, 0, 0, wire.FrameSample, 1, 2, 3))
+	// Oversized frame header (length over MaxFrameBytes).
+	f.Add(append(append([]byte{}, binHello...), 0xff, 0xff, 0xff, 0xff, wire.FrameSample))
+	// A hello naming a framing the server does not speak.
+	f.Add(line(Hello{Carrier: "OpX", Arch: cellular.ArchNSA, Framing: "protobuf"}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := newServer(nil, Options{SessionTimeout: time.Second})

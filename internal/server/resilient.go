@@ -136,6 +136,12 @@ func (rc *ResilientClient) connectLocked(reconnect bool) error {
 		hello.LastSeq = rc.lastSeq
 		c, err := DialWith(rc.addr, hello, rc.opts.Dial)
 		if err != nil {
+			var se *ServerError
+			if errors.As(err, &se) {
+				// A structured rejection during framing negotiation is a
+				// protocol verdict, like one from readAck below.
+				return err
+			}
 			lastErr = err
 			continue
 		}

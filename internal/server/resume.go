@@ -84,7 +84,7 @@ type parkedSession struct {
 // also merged into the warm store so a never-resumed park still contributes
 // to checkpoints and future cold starts.
 func (s *Server) park(p *parkedSession) {
-	s.pushWarm(p.carrier, p.arch, p.prog.Snapshot())
+	s.pushWarm(p.carrier, p.arch, p.token, p.prog.Snapshot())
 	s.opts.Tracer.Emit(obs.Event{
 		Kind:    obs.EvSessionPark,
 		Session: p.token,
@@ -93,27 +93,15 @@ func (s *Server) park(p *parkedSession) {
 		RespSeq: p.seq,
 	})
 	p.expires = time.Now().Add(s.opts.ResumeGrace)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.parked[p.token]; ok {
-		// A duplicate token replaces the previous park (same gauge slot).
-		s.parked[p.token] = p
+	replaced, evicted := s.parked.insert(p, s.opts.MaxParked)
+	if replaced {
+		// A duplicate token replaced the previous park (same gauge slot).
 		return
 	}
-	if len(s.parked) >= s.opts.MaxParked {
-		var victim *parkedSession
-		for _, e := range s.parked {
-			if victim == nil || e.expires.Before(victim.expires) {
-				victim = e
-			}
-		}
-		if victim != nil {
-			delete(s.parked, victim.token)
-			s.stats.SessionUnparked()
-			s.stats.ParkedExpired()
-		}
+	if evicted != nil {
+		s.stats.SessionUnparked()
+		s.stats.ParkedExpired()
 	}
-	s.parked[p.token] = p
 	s.stats.SessionParked()
 }
 
@@ -121,16 +109,11 @@ func (s *Server) park(p *parkedSession) {
 // live entry exists. Expired entries found here are dropped exactly as the
 // sweeper would drop them (lazy expiry).
 func (s *Server) unpark(token string) *parkedSession {
-	s.mu.Lock()
-	p, ok := s.parked[token]
-	if ok {
-		delete(s.parked, token)
-		s.stats.SessionUnparked()
-	}
-	s.mu.Unlock()
-	if !ok {
+	p := s.parked.remove(token)
+	if p == nil {
 		return nil
 	}
+	s.stats.SessionUnparked()
 	if time.Now().After(p.expires) {
 		s.stats.ParkedExpired()
 		return nil
@@ -141,40 +124,27 @@ func (s *Server) unpark(token string) *parkedSession {
 // sweepParked drops every parked session past its grace window, merging its
 // learned state into the warm store first.
 func (s *Server) sweepParked(now time.Time) {
-	s.mu.Lock()
-	var expired []*parkedSession
-	for token, p := range s.parked {
-		if now.After(p.expires) {
-			delete(s.parked, token)
-			s.stats.SessionUnparked()
-			s.stats.ParkedExpired()
-			expired = append(expired, p)
-		}
-	}
-	s.mu.Unlock()
+	expired := s.parked.sweep(now)
 	// The table no longer references these sessions, so their Prognos
 	// instances are exclusively ours to snapshot.
 	for _, p := range expired {
-		s.pushWarm(p.carrier, p.arch, p.prog.Snapshot())
+		s.stats.SessionUnparked()
+		s.stats.ParkedExpired()
+		s.pushWarm(p.carrier, p.arch, p.token, p.prog.Snapshot())
 	}
 }
 
-// pushWarm records the latest learned state for a deployment context. The
-// warm store seeds new sessions' learners and is what checkpoints persist.
-func (s *Server) pushWarm(carrier string, arch cellular.Arch, snap core.Snapshot) {
-	key := warmKey{carrier: carrier, arch: arch.String()}
-	s.warmMu.Lock()
-	s.warm[key] = snap
-	s.warmMu.Unlock()
+// pushWarm records the latest learned state for a deployment context,
+// sharded by session token (see shard.go). The warm store seeds new
+// sessions' learners and is what checkpoints persist.
+func (s *Server) pushWarm(carrier string, arch cellular.Arch, token string, snap core.Snapshot) {
+	s.warm.push(warmKey{carrier: carrier, arch: arch.String()}, token, snap)
 }
 
-// warmSnapshot returns the stored learned state for a deployment context.
+// warmSnapshot returns the freshest stored learned state for a deployment
+// context.
 func (s *Server) warmSnapshot(carrier string, arch cellular.Arch) (core.Snapshot, bool) {
-	key := warmKey{carrier: carrier, arch: arch.String()}
-	s.warmMu.Lock()
-	snap, ok := s.warm[key]
-	s.warmMu.Unlock()
-	return snap, ok
+	return s.warm.freshest(warmKey{carrier: carrier, arch: arch.String()})
 }
 
 // restoreCheckpoints loads every readable checkpoint in CheckpointDir into
@@ -186,12 +156,12 @@ func (s *Server) restoreCheckpoints() {
 	if err != nil {
 		return
 	}
-	s.warmMu.Lock()
 	for _, f := range files {
-		s.warm[warmKey{carrier: f.Carrier, arch: f.Arch}] = f.Snapshot
+		// Restored state lands in the empty-token slot with a fresh
+		// stamp; any later live push outranks it.
+		s.warm.push(warmKey{carrier: f.Carrier, arch: f.Arch}, "", f.Snapshot)
 		s.stats.CheckpointRestored()
 	}
-	s.warmMu.Unlock()
 }
 
 // CheckpointNow atomically writes one versioned checkpoint file per warm
@@ -202,12 +172,7 @@ func (s *Server) CheckpointNow() (int, error) {
 	if s.opts.CheckpointDir == "" {
 		return 0, nil
 	}
-	s.warmMu.Lock()
-	entries := make(map[warmKey]core.Snapshot, len(s.warm))
-	for k, v := range s.warm {
-		entries[k] = v
-	}
-	s.warmMu.Unlock()
+	entries := s.warm.all()
 	total := 0
 	var firstErr error
 	for k, snap := range entries {

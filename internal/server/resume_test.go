@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/chaos"
+	"repro/internal/wire"
 )
 
 // waitFor polls cond for up to two seconds.
@@ -25,11 +26,27 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
+// bothFramings runs a subtest once per wire framing, so every resume and
+// checkpoint invariant is pinned under JSONL and binary alike
+// (docs/PROTOCOL.md requires identical semantics from both).
+func bothFramings(t *testing.T, run func(t *testing.T, dial ClientOptions)) {
+	t.Helper()
+	for _, fr := range []wire.Framing{wire.FramingJSONL, wire.FramingBinary} {
+		t.Run(string(fr), func(t *testing.T) {
+			run(t, ClientOptions{Framing: fr})
+		})
+	}
+}
+
 // TestSessionResumeReplaysLostResponses is the warm-resume round trip: a
 // tokened session is cut mid-stream, the reconnect re-attaches the parked
 // Prognos instance, and the server replays exactly the responses the
 // client reports missing — no gaps, no duplicates.
 func TestSessionResumeReplaysLostResponses(t *testing.T) {
+	bothFramings(t, testSessionResumeReplaysLostResponses)
+}
+
+func testSessionResumeReplaysLostResponses(t *testing.T, dial ClientOptions) {
 	srv, err := ListenWith("127.0.0.1:0", Options{ResumeGrace: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +54,7 @@ func TestSessionResumeReplaysLostResponses(t *testing.T) {
 	defer srv.Close()
 
 	hello := Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-resume-1"}
-	c1, err := Dial(srv.Addr(), hello)
+	c1, err := DialWith(srv.Addr(), hello, dial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +82,7 @@ func TestSessionResumeReplaysLostResponses(t *testing.T) {
 
 	// Reconnect claiming we only read up to seq 3: the server owes 4, 5.
 	hello.LastSeq = 3
-	c2, err := Dial(srv.Addr(), hello)
+	c2, err := DialWith(srv.Addr(), hello, dial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,9 +240,9 @@ func TestSessionTimeoutResumeGraceInteraction(t *testing.T) {
 
 // learnSession streams enough (sample, A2 report, LTE handover) phases
 // through a session for the server-side learner to mine patterns.
-func learnSession(t *testing.T, addr string) {
+func learnSession(t *testing.T, addr string, dial ClientOptions) {
 	t.Helper()
-	c, err := Dial(addr, Hello{Carrier: "OpX", Arch: cellular.ArchLTE})
+	c, err := DialWith(addr, Hello{Carrier: "OpX", Arch: cellular.ArchLTE}, dial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,6 +272,10 @@ func learnSession(t *testing.T, addr string) {
 // restores the pattern database — the re-exported checkpoint is
 // byte-identical — and fresh sessions predict warm immediately.
 func TestCheckpointKillRestart(t *testing.T) {
+	bothFramings(t, testCheckpointKillRestart)
+}
+
+func testCheckpointKillRestart(t *testing.T, dial ClientOptions) {
 	dir := t.TempDir()
 	opts := Options{CheckpointDir: dir, CheckpointInterval: time.Hour}
 
@@ -262,7 +283,7 @@ func TestCheckpointKillRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	learnSession(t, srv1.Addr())
+	learnSession(t, srv1.Addr(), dial)
 	if n, err := srv1.CheckpointNow(); err != nil || n == 0 {
 		t.Fatalf("checkpoint: n=%d err=%v", n, err)
 	}
@@ -295,7 +316,7 @@ func TestCheckpointKillRestart(t *testing.T) {
 
 	// A fresh session on the restarted server predicts warm: the learned
 	// A2→LTEH pattern fires on the first trigger report.
-	c, err := Dial(srv2.Addr(), Hello{Carrier: "OpX", Arch: cellular.ArchLTE})
+	c, err := DialWith(srv2.Addr(), Hello{Carrier: "OpX", Arch: cellular.ArchLTE}, dial)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,6 +340,10 @@ func TestCheckpointKillRestart(t *testing.T) {
 // chaos proxy that keeps resetting connections: every sample must still
 // earn exactly one response, with the recovery visible in the stats.
 func TestResilientClientThroughChaos(t *testing.T) {
+	bothFramings(t, testResilientClientThroughChaos)
+}
+
+func testResilientClientThroughChaos(t *testing.T, dial ClientOptions) {
 	srv, err := ListenWith("127.0.0.1:0", Options{ResumeGrace: 5 * time.Second})
 	if err != nil {
 		t.Fatal(err)
@@ -336,6 +361,7 @@ func TestResilientClientThroughChaos(t *testing.T) {
 
 	rc, err := DialResilient(proxy.Addr(), ResilientOptions{
 		Hello: Hello{Carrier: "OpX", Arch: cellular.ArchLTE, SessionToken: "ue-chaos"},
+		Dial:  dial,
 		Retry: RetryPolicy{MaxAttempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
 		Seed:  1,
 	})

@@ -1,17 +1,25 @@
-// Package server implements the Prognos network service: a line-oriented
-// TCP protocol through which a UE-side agent streams its cross-layer
-// observations (radio samples, sniffed measurement reports and handover
-// commands, in the trace package's JSONL record format) and receives a
-// handover prediction for every radio sample. This is the deployment shape
-// the paper sketches for Prognos-assisted applications: a local daemon the
-// application queries for ho_score.
+// Package server implements the Prognos network service: a TCP protocol
+// through which a UE-side agent streams its cross-layer observations
+// (radio samples, sniffed measurement reports and handover commands) and
+// receives a handover prediction for every radio sample. This is the
+// deployment shape the paper sketches for Prognos-assisted applications: a
+// local daemon the application queries for ho_score.
+//
+// Records travel in one of two framings, negotiated in the hello and
+// specified normatively in docs/PROTOCOL.md: line-oriented JSONL (the
+// default) or an opt-in length-prefixed binary framing for high-rate
+// fleets. The protocol types themselves live in internal/wire; this
+// package re-exports them under their historical names.
 //
 // The server is hardened for fleet-scale load (see internal/fleet): a
 // session-concurrency limit with polite over-limit rejection, per-session
 // read/write deadlines, capped exponential backoff in the accept loop, a
-// structured error line before any session teardown the server initiates,
-// and a graceful drain that stops accepting while letting in-flight
-// sessions finish.
+// structured error (JSONL ErrorLine or binary FrameError, matching the
+// session's framing) before any session teardown the server initiates, and
+// a graceful drain that stops accepting while letting in-flight sessions
+// finish. Shared learner state is sharded per deployment context and per
+// session-token hash (see shard.go) so concurrent sessions do not
+// serialize on one lock.
 package server
 
 import (
@@ -30,92 +38,26 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ran"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
-// maxLineBytes bounds one protocol line (hello, record, response).
-const maxLineBytes = 1 << 20
+// maxLineBytes bounds one JSONL protocol line (hello, record, response).
+const maxLineBytes = wire.MaxLineBytes
 
-// Hello is the first line a client sends: the deployment context the
-// Prognos instance needs, or a stats request.
-type Hello struct {
-	// Carrier ("OpX"/"OpY") and Arch pick the measurement-event
-	// configurations and policies the session's Prognos instance loads.
-	Carrier string        `json:"carrier"`
-	Arch    cellular.Arch `json:"arch"`
-	// UseReportPredictor enables the early-warning stage (default true).
-	DisableReportPredictor bool `json:"disable_report_predictor,omitempty"`
-	// Stats, when true, turns the session into a one-shot stats query:
-	// the server answers with one metrics.ServerSnapshot JSON line and
-	// closes. Carrier/Arch are ignored for stats sessions, and stats
-	// sessions are never counted against the session limit.
-	Stats bool `json:"stats,omitempty"`
-	// SessionToken, when set, makes the session resumable: if the
-	// transport drops mid-stream the server parks the warm Prognos
-	// instance for Options.ResumeGrace, and a reconnect presenting the
-	// same token re-attaches to it. The server then answers the hello
-	// with a ResumeAck line (and replays any buffered responses the
-	// client missed) before resuming the record stream. Tokens are
-	// client-chosen; they only need to be unique per server.
-	SessionToken string `json:"session_token,omitempty"`
-	// LastSeq is the highest Response.Seq the client has already read,
-	// so a resumed session replays exactly the responses that were lost
-	// in flight and nothing the client already has.
-	LastSeq int64 `json:"last_seq,omitempty"`
-}
-
-// Record is one streamed observation; exactly one payload field is set.
-type Record struct {
-	// Sample is a 20 Hz radio sample; the server answers it with a
-	// Response line. Report (a sniffed measurement report) and HO (a
-	// sniffed handover command) are one-way observations.
-	Sample *trace.Sample               `json:"sample,omitempty"`
-	Report *cellular.MeasurementReport `json:"report,omitempty"`
-	HO     *cellular.HandoverEvent     `json:"ho,omitempty"`
-}
-
-// Response is the per-sample prediction sent back to the client.
-type Response struct {
-	// Time echoes the triggering sample's timestamp.
-	Time time.Duration `json:"t"`
-	// Type and TypeName give the predicted handover for the coming
-	// prediction window (HONone/"NONE" when quiet).
-	Type     cellular.HOType `json:"type"`
-	TypeName string          `json:"type_name"`
-	// Score is the ho_score applications act on (§7: 1 = no impact
-	// expected, lower = heavier procedure expected).
-	Score float64 `json:"score"`
-	// Similarity is the matched pattern's similarity (diagnostics), and
-	// LeadMS how far ahead the prediction was first standing.
-	Similarity float64 `json:"similarity"`
-	LeadMS     int64   `json:"lead_ms"`
-	// Seq is the 1-based ordinal of the sample this response answers,
-	// the resume cursor: a reconnecting client reports the highest Seq
-	// it has read and the server replays from there.
-	Seq int64 `json:"seq,omitempty"`
-}
-
-// ResumeAck is the line the server sends right after the hello of any
-// tokened session, before the first response. Resumed reports whether a
-// parked warm instance was re-attached; Seq is the server's resume cursor
-// (the highest Response.Seq it has answered — 0 for a fresh session).
-// When Resumed is true the server guarantees it will replay every buffered
-// response in (hello.LastSeq, Seq] immediately after this line, so the
-// client only needs to resend samples it sent after Seq. When Resumed is
-// false the server state is fresh: the client must reset its cursor to 0
-// and resend everything unanswered.
-type ResumeAck struct {
-	ResumeAck bool  `json:"resume_ack"`
-	Resumed   bool  `json:"resumed"`
-	Seq       int64 `json:"seq"`
-}
-
-// ErrorLine is the structured error the server sends before tearing down a
-// session it cannot (or can no longer) serve: over-limit rejection, a
-// malformed or oversized record, an engine failure. Clients surface the
-// text as the error of the call that read it.
-type ErrorLine struct {
-	Error string `json:"error"`
-}
+// Protocol types, defined in internal/wire and re-exported here under
+// their historical names so existing callers keep compiling.
+type (
+	// Hello is the first line a client sends; see wire.Hello.
+	Hello = wire.Hello
+	// Record is one streamed observation; see wire.Record.
+	Record = wire.Record
+	// Response is the per-sample prediction; see wire.Response.
+	Response = wire.Response
+	// ResumeAck acknowledges a tokened hello; see wire.ResumeAck.
+	ResumeAck = wire.ResumeAck
+	// ErrorLine is the structured teardown error; see wire.ErrorLine.
+	ErrorLine = wire.ErrorLine
+)
 
 // Options tunes the hardening knobs of a Server. The zero value preserves
 // the historical behaviour: unlimited sessions, no deadlines.
@@ -188,12 +130,11 @@ type Server struct {
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
 	sessions int // prediction sessions holding a MaxSessions slot
-	parked   map[string]*parkedSession
 
-	// warmMu guards the warm snapshot store (see resume.go); it nests
-	// inside nothing — pushWarm is callable from any path.
-	warmMu sync.Mutex
-	warm   map[warmKey]core.Snapshot
+	// parked and warm are internally sharded (see shard.go) and take no
+	// part in s.mu's ordering.
+	parked *parkedTable
+	warm   *warmStore
 
 	wg       sync.WaitGroup
 	done     chan struct{}
@@ -225,8 +166,8 @@ func newServer(ln net.Listener, opts Options) *Server {
 		stats:  metrics.NewServerStats(),
 		sleep:  time.Sleep,
 		conns:  make(map[net.Conn]struct{}),
-		parked: make(map[string]*parkedSession),
-		warm:   make(map[warmKey]core.Snapshot),
+		parked: newParkedTable(),
+		warm:   newWarmStore(),
 		done:   make(chan struct{}),
 	}
 	if s.opts.CheckpointDir != "" {
@@ -423,18 +364,129 @@ var errOverLimit = errors.New("retry later")
 // already dead so no ErrorLine is attempted.
 var errInterrupted = errors.New("session interrupted")
 
+// protocolError wraps a record decode failure: the client's fault, to be
+// reported back as a structured error, as opposed to a transport fault
+// (which parks resumable sessions instead).
+type protocolError struct{ err error }
+
+func (e *protocolError) Error() string { return e.err.Error() }
+func (e *protocolError) Unwrap() error { return e.err }
+
+// codec is one session's record framing: it reads client records and
+// writes server records in either JSONL or binary form, over the shared
+// buffered conn halves. Buffered exposes the read side's already-buffered
+// bytes so the session loop can coalesce response flushes while more
+// pipelined input is waiting (docs/PROTOCOL.md §Flushing).
+type codec interface {
+	// ReadRecord decodes the next client record into rec. It returns
+	// io.EOF at a clean end of stream, a *protocolError for malformed
+	// records, wire.ErrLineTooLong/wire.ErrFrameTooLarge for oversized
+	// ones, and the transport error otherwise.
+	ReadRecord(rec *Record) error
+	WriteResponse(Response) error
+	WriteResumeAck(ResumeAck) error
+	// WriteError emits the structured teardown error in the session's
+	// framing (ErrorLine or FrameError).
+	WriteError(msg string) error
+	Buffered() int
+	Flush() error
+}
+
+// jsonlCodec is the default line-oriented framing.
+type jsonlCodec struct {
+	br  *bufio.Reader
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+func newJSONLCodec(br *bufio.Reader, w *bufio.Writer) *jsonlCodec {
+	return &jsonlCodec{br: br, w: w, enc: json.NewEncoder(w)}
+}
+
+func (c *jsonlCodec) ReadRecord(rec *Record) error {
+	line, err := wire.ReadLine(c.br, maxLineBytes)
+	if err != nil {
+		return err
+	}
+	*rec = Record{}
+	if err := json.Unmarshal(line, rec); err != nil {
+		return &protocolError{err: err}
+	}
+	return nil
+}
+
+func (c *jsonlCodec) WriteResponse(r Response) error   { return c.enc.Encode(r) }
+func (c *jsonlCodec) WriteResumeAck(a ResumeAck) error { return c.enc.Encode(a) }
+func (c *jsonlCodec) WriteError(msg string) error      { return c.enc.Encode(ErrorLine{Error: msg}) }
+func (c *jsonlCodec) Buffered() int                    { return c.br.Buffered() }
+func (c *jsonlCodec) Flush() error                     { return c.w.Flush() }
+
+// binaryCodec is the negotiated length-prefixed framing. Decoded record
+// payloads live in the codec's scratch fields and are overwritten by the
+// next ReadRecord; the session loop consumes each record before reading
+// the next.
+type binaryCodec struct {
+	fr *wire.FrameReader
+	fw *wire.FrameWriter
+	w  *bufio.Writer
+
+	sample trace.Sample
+	report cellular.MeasurementReport
+	ho     cellular.HandoverEvent
+}
+
+func newBinaryCodec(br *bufio.Reader, w *bufio.Writer) *binaryCodec {
+	return &binaryCodec{fr: wire.NewFrameReader(br), fw: wire.NewFrameWriter(w), w: w}
+}
+
+func (c *binaryCodec) ReadRecord(rec *Record) error {
+	typ, p, err := c.fr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	rec.Sample, rec.Report, rec.HO = nil, nil, nil
+	switch typ {
+	case wire.FrameSample:
+		if err := wire.DecodeSample(p, &c.sample); err != nil {
+			return &protocolError{err: err}
+		}
+		rec.Sample = &c.sample
+	case wire.FrameReport:
+		if err := wire.DecodeReport(p, &c.report); err != nil {
+			return &protocolError{err: err}
+		}
+		rec.Report = &c.report
+	case wire.FrameHO:
+		if err := wire.DecodeHandover(p, &c.ho); err != nil {
+			return &protocolError{err: err}
+		}
+		rec.HO = &c.ho
+	default:
+		return &protocolError{err: fmt.Errorf("unexpected frame type 0x%02x", typ)}
+	}
+	return nil
+}
+
+func (c *binaryCodec) WriteResponse(r Response) error   { return c.fw.WriteResponse(r) }
+func (c *binaryCodec) WriteResumeAck(a ResumeAck) error { return c.fw.WriteResumeAck(a) }
+func (c *binaryCodec) WriteError(msg string) error      { return c.fw.WriteError(msg) }
+func (c *binaryCodec) Buffered() int                    { return c.fr.Buffered() }
+func (c *binaryCodec) Flush() error                     { return c.w.Flush() }
+
 // serve runs one session and accounts its outcome: session errors are
 // counted and, when the transport still works, reported to the client as a
-// structured ErrorLine before teardown. Interrupted resumable sessions are
-// parked instead (see session) and counted separately.
+// structured error in the session's negotiated framing before teardown.
+// Interrupted resumable sessions are parked instead (see session) and
+// counted separately.
 func (s *Server) serve(conn net.Conn) {
 	rw := net.Conn(conn)
 	if s.opts.SessionTimeout > 0 {
 		rw = timeoutConn{Conn: conn, d: s.opts.SessionTimeout}
 	}
+	br := bufio.NewReaderSize(rw, 64<<10)
 	w := bufio.NewWriter(rw)
-	enc := json.NewEncoder(w)
-	if err := s.session(rw, w, enc); err != nil {
+	cdc, err := s.session(br, w)
+	if err != nil {
 		if errors.Is(err, errInterrupted) {
 			s.stats.SessionInterrupted()
 			return
@@ -442,42 +494,53 @@ func (s *Server) serve(conn net.Conn) {
 		if !errors.Is(err, errOverLimit) {
 			s.stats.SessionError()
 		}
+		if cdc == nil {
+			cdc = newJSONLCodec(br, w)
+		}
 		// Best effort: the conn may already be gone.
-		if encErr := enc.Encode(ErrorLine{Error: err.Error()}); encErr == nil && w.Flush() == nil {
+		if cdc.WriteError(err.Error()) == nil && cdc.Flush() == nil {
 			// Absorb whatever the client has in flight until it reads the
-			// error line and closes (bounded), so the teardown is a clean
-			// FIN rather than a reset that could destroy the error line.
+			// error and closes (bounded), so the teardown is a clean FIN
+			// rather than a reset that could destroy the error record.
 			conn.SetReadDeadline(time.Now().Add(time.Second))
 			io.Copy(io.Discard, conn)
 		}
 	}
 }
 
-// session speaks the protocol on one conn: hello, then records in,
-// predictions out. The returned error is what the client is told.
-func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) error {
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
-
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return fmt.Errorf("server: reading hello: %w", err)
+// session speaks the protocol on one conn: hello (always JSONL), framing
+// negotiation, then records in, predictions out. The returned error is
+// what the client is told, through the returned codec (nil when the
+// session never got past the hello: the answer stays JSONL).
+func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
+	helloLine, err := wire.ReadLine(br, maxLineBytes)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("server: no hello")
 		}
-		return errors.New("server: no hello")
+		return nil, fmt.Errorf("server: reading hello: %w", err)
 	}
 	var hello Hello
-	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
-		return fmt.Errorf("server: bad hello: %w", err)
+	if err := json.Unmarshal(helloLine, &hello); err != nil {
+		return nil, fmt.Errorf("server: bad hello: %w", err)
 	}
 	if hello.Stats {
+		// Stats exchanges are always JSONL, whatever the hello requested.
+		enc := json.NewEncoder(w)
 		if err := enc.Encode(s.stats.Snapshot()); err != nil {
-			return err
+			return nil, err
 		}
-		return w.Flush()
+		return nil, w.Flush()
+	}
+	framing, err := wire.ParseFraming(hello.Framing)
+	if err != nil {
+		// Unsupported framing is rejected before any ack, so the error
+		// reaches the client in the framing it can already parse.
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	if !s.acquireSlot() {
 		s.stats.SessionRejected()
-		return fmt.Errorf("server: session limit reached (max %d), %w", s.opts.MaxSessions, errOverLimit)
+		return nil, fmt.Errorf("server: session limit reached (max %d), %w", s.opts.MaxSessions, errOverLimit)
 	}
 	defer s.releaseSlot()
 	s.stats.SessionOpened()
@@ -488,6 +551,23 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 		Carrier: hello.Carrier,
 		Arch:    hello.Arch.String(),
 	})
+
+	var cdc codec
+	if framing == wire.FramingBinary {
+		// Acknowledge the switch on the JSONL layer; everything after
+		// this line (ResumeAck, replay, responses) is binary frames.
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(wire.FramingAck{
+			FramingAck:  true,
+			Framing:     wire.FramingBinary,
+			WireVersion: wire.ProtocolVersion,
+		}); err != nil {
+			return nil, err
+		}
+		cdc = newBinaryCodec(br, w)
+	} else {
+		cdc = newJSONLCodec(br, w)
+	}
 
 	// A tokened hello may resume a parked warm instance. Parked sessions
 	// hold no MaxSessions slot, so the slot acquired above is this conn's
@@ -528,7 +608,7 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			UseReportPredictor: !hello.DisableReportPredictor,
 		})
 		if err != nil {
-			return err
+			return cdc, err
 		}
 		// Warm-start the learner from the best snapshot this server has
 		// for the deployment context (prior sessions or a restored
@@ -555,33 +635,55 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 		// Always acknowledge a token (even when resume is disabled
 		// server-side: resumed=false tells the client to start fresh),
 		// then replay what the client missed.
-		if err := enc.Encode(ResumeAck{ResumeAck: true, Resumed: resumed, Seq: seq}); err != nil {
+		if err := cdc.WriteResumeAck(ResumeAck{ResumeAck: true, Resumed: resumed, Seq: seq}); err != nil {
 			if resumable {
-				return park()
+				return cdc, park()
 			}
-			return err
+			return cdc, err
 		}
 		for _, r := range replay {
-			if err := enc.Encode(r); err != nil {
+			if err := cdc.WriteResponse(r); err != nil {
 				if resumable {
-					return park()
+					return cdc, park()
 				}
-				return err
+				return cdc, err
 			}
 		}
-		if err := w.Flush(); err != nil {
-			if resumable {
-				return park()
-			}
-			return err
+	}
+	// Flush the hello-phase output (framing ack and/or resume preamble)
+	// before blocking on the first record.
+	if err := cdc.Flush(); err != nil {
+		if resumable {
+			return cdc, park()
 		}
+		return cdc, err
 	}
 
 	samplesSinceWarm := 0
-	for sc.Scan() {
-		var rec Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return fmt.Errorf("server: bad record: %w", err)
+	var rec Record
+	for {
+		if err := cdc.ReadRecord(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var pe *protocolError
+			switch {
+			case errors.Is(err, wire.ErrLineTooLong):
+				s.stats.AddOversized()
+				return cdc, fmt.Errorf("server: record exceeds the %d-byte line limit", maxLineBytes)
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				s.stats.AddOversized()
+				return cdc, fmt.Errorf("server: record exceeds the %d-byte frame limit", wire.MaxFrameBytes)
+			case errors.As(err, &pe):
+				return cdc, fmt.Errorf("server: bad record: %w", pe.err)
+			}
+			// A read-side transport fault (reset, timeout, chaos cut):
+			// park resumable sessions for the grace window instead of
+			// erroring.
+			if resumable {
+				return cdc, park()
+			}
+			return cdc, err
 		}
 		switch {
 		case rec.Report != nil:
@@ -609,17 +711,24 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			if buf != nil {
 				buf.push(resp)
 			}
-			if err := enc.Encode(resp); err != nil {
+			if err := cdc.WriteResponse(resp); err != nil {
 				if resumable {
-					return park()
+					return cdc, park()
 				}
-				return err
+				return cdc, err
 			}
-			if err := w.Flush(); err != nil {
-				if resumable {
-					return park()
+			// Coalesced flushing: while the client has more records
+			// already pipelined, hold the responses back and flush the
+			// whole batch once the read side runs dry. Clients write
+			// records atomically, so an empty read buffer means the
+			// client is (or soon will be) blocked waiting on us.
+			if cdc.Buffered() == 0 {
+				if err := cdc.Flush(); err != nil {
+					if resumable {
+						return cdc, park()
+					}
+					return cdc, err
 				}
-				return err
 			}
 			s.stats.ObserveLatency(time.Since(reqStart))
 			if pred.Type != cellular.HONone {
@@ -638,27 +747,22 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			}
 			if samplesSinceWarm++; samplesSinceWarm >= warmPushEvery {
 				samplesSinceWarm = 0
-				s.pushWarm(hello.Carrier, hello.Arch, prog.Snapshot())
+				s.pushWarm(hello.Carrier, hello.Arch, hello.SessionToken, prog.Snapshot())
 			}
 		}
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
-		if errors.Is(err, bufio.ErrTooLong) {
-			s.stats.AddOversized()
-			return fmt.Errorf("server: record exceeds the %d-byte line limit", maxLineBytes)
-		}
-		// A read-side transport fault (reset, timeout, chaos cut): park
-		// resumable sessions for the grace window instead of erroring.
+	// Clean EOF: release any responses still held by flush coalescing.
+	if err := cdc.Flush(); err != nil {
 		if resumable {
-			return park()
+			return cdc, park()
 		}
-		return err
+		return cdc, err
 	}
-	// Clean EOF. A chaos proxy tearing a path down can surface as EOF
-	// rather than an error, so resumable sessions park here too — a
-	// genuinely finished client simply never resumes and the entry ages
-	// out of the table at the end of the grace window.
-	s.pushWarm(hello.Carrier, hello.Arch, prog.Snapshot())
+	// A chaos proxy tearing a path down can surface as EOF rather than an
+	// error, so resumable sessions park here too — a genuinely finished
+	// client simply never resumes and the entry ages out of the table at
+	// the end of the grace window.
+	s.pushWarm(hello.Carrier, hello.Arch, hello.SessionToken, prog.Snapshot())
 	s.opts.Tracer.Emit(obs.Event{
 		Kind:    obs.EvSessionClose,
 		Session: hello.SessionToken,
@@ -676,7 +780,7 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 			arch:    hello.Arch,
 		})
 	}
-	return nil
+	return cdc, nil
 }
 
 // Client is a convenience wrapper for talking to a Prognos server. Its
@@ -684,19 +788,37 @@ func (s *Server) session(conn net.Conn, w *bufio.Writer, enc *json.Encoder) erro
 // exception carved out for open-loop load generation: one goroutine may
 // send (SendReport/SendHandover/SendSampleAsync) while another reads
 // (ReadResponse), because the send path touches only the write half and
-// ReadResponse only the read half.
+// ReadResponse only the read half. ClientOptions.NoAutoFlush forfeits
+// this carve-out (see its doc).
 type Client struct {
 	conn net.Conn
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	w    *bufio.Writer
 	enc  *json.Encoder
+	// fr/fw are set iff the session negotiated the binary framing.
+	fr *wire.FrameReader
+	fw *wire.FrameWriter
+	// autoFlush mirrors !ClientOptions.NoAutoFlush.
+	autoFlush bool
 }
 
 // ClientOptions tunes how a Client connects. The zero value gives the
-// historical defaults.
+// historical defaults: JSONL framing, one flush per sample.
 type ClientOptions struct {
 	// DialTimeout bounds the TCP connect (default 5s).
 	DialTimeout time.Duration
+	// Framing selects the record framing ("" = honour Hello.Framing,
+	// defaulting to JSONL). wire.FramingBinary negotiates the binary
+	// framing during DialWith; a server that rejects it surfaces as a
+	// *ServerError from DialWith.
+	Framing wire.Framing
+	// NoAutoFlush batches writes: samples are buffered until the client
+	// either blocks in ReadResponse (which first flushes anything
+	// pending) or calls CloseWrite. This amortises syscalls for windowed
+	// closed-loop streaming, but makes ReadResponse touch the write
+	// half: a NoAutoFlush client must NOT split sending and reading
+	// across goroutines.
+	NoAutoFlush bool
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -711,19 +833,33 @@ func Dial(addr string, hello Hello) (*Client, error) {
 	return DialWith(addr, hello, ClientOptions{})
 }
 
-// DialWith connects with explicit options and sends the hello.
+// DialWith connects with explicit options, sends the hello and completes
+// framing negotiation. For binary framing it reads the server's
+// FramingAck before returning; a structured rejection surfaces as a
+// *ServerError.
 func DialWith(addr string, hello Hello, opts ClientOptions) (*Client, error) {
 	opts = opts.withDefaults()
+	want := string(opts.Framing)
+	if want == "" {
+		want = hello.Framing
+	}
+	framing, err := wire.ParseFraming(want)
+	if err != nil {
+		return nil, err
+	}
+	if framing == wire.FramingBinary {
+		hello.Framing = string(wire.FramingBinary)
+	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn: conn,
-		sc:   bufio.NewScanner(conn),
-		w:    bufio.NewWriter(conn),
+		conn:      conn,
+		br:        bufio.NewReaderSize(conn, 64<<10),
+		w:         bufio.NewWriter(conn),
+		autoFlush: !opts.NoAutoFlush,
 	}
-	c.sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
 	c.enc = json.NewEncoder(c.w)
 	if err := c.enc.Encode(hello); err != nil {
 		conn.Close()
@@ -733,7 +869,37 @@ func DialWith(addr string, hello Hello, opts ClientOptions) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	if framing == wire.FramingBinary {
+		if err := c.readFramingAck(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.fr = wire.NewFrameReader(c.br)
+		c.fw = wire.NewFrameWriter(c.w)
+	}
 	return c, nil
+}
+
+// readFramingAck consumes the JSONL FramingAck answering a binary hello.
+func (c *Client) readFramingAck() error {
+	line, err := wire.ReadLine(c.br, maxLineBytes)
+	if err != nil {
+		return fmt.Errorf("server: reading framing ack: %w", err)
+	}
+	var env struct {
+		wire.FramingAck
+		Err string `json:"error"`
+	}
+	if err := json.Unmarshal(line, &env); err != nil {
+		return fmt.Errorf("server: bad framing ack: %w", err)
+	}
+	if env.Err != "" {
+		return &ServerError{Msg: env.Err}
+	}
+	if !env.FramingAck.FramingAck || env.Framing != wire.FramingBinary {
+		return fmt.Errorf("server: expected framing ack, got %q", line)
+	}
+	return nil
 }
 
 // Close terminates the session.
@@ -751,14 +917,23 @@ func (c *Client) CloseWrite() error {
 	return errors.New("server: transport does not support half-close")
 }
 
-// SendReport streams one sniffed measurement report.
+// SendReport streams one sniffed measurement report. Control records are
+// buffered and ride out with the next sample send, ReadResponse or
+// CloseWrite rather than paying their own flush.
 func (c *Client) SendReport(mr cellular.MeasurementReport) error {
-	return c.send(Record{Report: &mr})
+	if c.fw != nil {
+		return c.fw.WriteReport(&mr)
+	}
+	return c.enc.Encode(Record{Report: &mr})
 }
 
-// SendHandover streams one sniffed handover command.
+// SendHandover streams one sniffed handover command (buffered like
+// SendReport).
 func (c *Client) SendHandover(ho cellular.HandoverEvent) error {
-	return c.send(Record{HO: &ho})
+	if c.fw != nil {
+		return c.fw.WriteHandover(&ho)
+	}
+	return c.enc.Encode(Record{HO: &ho})
 }
 
 // SendSample streams one radio sample and returns the server's prediction.
@@ -772,36 +947,73 @@ func (c *Client) SendSample(smp trace.Sample) (Response, error) {
 // SendSampleAsync streams one radio sample without waiting for the
 // prediction; pair it with ReadResponse. Open-loop load generation uses
 // this split to keep sending on schedule while a reader goroutine measures
-// how late the predictions come back.
+// how late the predictions come back. Windowed closed-loop load instead
+// sets NoAutoFlush and sends a burst before reading it back.
 func (c *Client) SendSampleAsync(smp trace.Sample) error {
-	return c.send(Record{Sample: &smp})
+	var err error
+	if c.fw != nil {
+		err = c.fw.WriteSample(&smp)
+	} else {
+		err = c.enc.Encode(Record{Sample: &smp})
+	}
+	if err != nil {
+		return err
+	}
+	if c.autoFlush {
+		return c.w.Flush()
+	}
+	return nil
 }
 
-// ServerError is a structured error the server sent as an ErrorLine before
-// tearing the session down: a protocol-level verdict (rejection, malformed
-// input, engine failure), not a transport fault. Resilient clients treat it
-// as permanent — retrying the same session would earn the same answer.
+// ServerError is a structured error the server sent (as a JSONL ErrorLine
+// or a binary FrameError) before tearing the session down: a
+// protocol-level verdict (rejection, malformed input, engine failure), not
+// a transport fault. Resilient clients treat it as permanent — retrying
+// the same session would earn the same answer.
 type ServerError struct {
 	Msg string
 }
 
 func (e *ServerError) Error() string { return "server: session error: " + e.Msg }
 
-// ReadResponse reads the next prediction line. Predictions arrive in send
-// order, one per sample. A structured server error (ErrorLine) is returned
-// as a *ServerError carrying the server's message.
+// ReadResponse reads the next prediction. Predictions arrive in send
+// order, one per sample. A structured server error is returned as a
+// *ServerError carrying the server's message. Under NoAutoFlush,
+// ReadResponse first flushes any buffered writes so a blocked read can
+// never deadlock against records the client still holds locally.
 func (c *Client) ReadResponse() (Response, error) {
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
+	if !c.autoFlush && c.w.Buffered() > 0 {
+		if err := c.w.Flush(); err != nil {
 			return Response{}, err
 		}
-		return Response{}, io.EOF
+	}
+	if c.fr != nil {
+		typ, p, err := c.fr.ReadFrame()
+		if err != nil {
+			return Response{}, err
+		}
+		switch typ {
+		case wire.FrameResponse:
+			var r Response
+			if err := wire.DecodeResponse(p, &r); err != nil {
+				return Response{}, fmt.Errorf("server: bad response: %w", err)
+			}
+			return r, nil
+		case wire.FrameError:
+			return Response{}, &ServerError{Msg: string(p)}
+		default:
+			return Response{}, fmt.Errorf("server: unexpected frame type 0x%02x", typ)
+		}
+	}
+	line, err := wire.ReadLine(c.br, maxLineBytes)
+	if err != nil {
+		return Response{}, err
 	}
 	var env struct {
 		Response
 		Err string `json:"error"`
 	}
-	if err := json.Unmarshal(c.sc.Bytes(), &env); err != nil {
+	if err := json.Unmarshal(line, &env); err != nil {
 		return Response{}, fmt.Errorf("server: bad response: %w", err)
 	}
 	if env.Err != "" {
@@ -811,58 +1023,65 @@ func (c *Client) ReadResponse() (Response, error) {
 }
 
 // readAck reads the ResumeAck the server sends for a tokened hello. An
-// ErrorLine in its place (e.g. over-limit rejection) surfaces as a
+// error record in its place (e.g. over-limit rejection) surfaces as a
 // *ServerError.
 func (c *Client) readAck() (ResumeAck, error) {
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
+	if c.fr != nil {
+		typ, p, err := c.fr.ReadFrame()
+		if err != nil {
 			return ResumeAck{}, err
 		}
-		return ResumeAck{}, io.EOF
+		switch typ {
+		case wire.FrameResumeAck:
+			var a ResumeAck
+			if err := wire.DecodeResumeAck(p, &a); err != nil {
+				return ResumeAck{}, fmt.Errorf("server: bad resume ack: %w", err)
+			}
+			return a, nil
+		case wire.FrameError:
+			return ResumeAck{}, &ServerError{Msg: string(p)}
+		default:
+			return ResumeAck{}, fmt.Errorf("server: expected resume ack, got frame type 0x%02x", typ)
+		}
+	}
+	line, err := wire.ReadLine(c.br, maxLineBytes)
+	if err != nil {
+		return ResumeAck{}, err
 	}
 	var env struct {
 		ResumeAck
 		Err string `json:"error"`
 	}
-	if err := json.Unmarshal(c.sc.Bytes(), &env); err != nil {
+	if err := json.Unmarshal(line, &env); err != nil {
 		return ResumeAck{}, fmt.Errorf("server: bad resume ack: %w", err)
 	}
 	if env.Err != "" {
 		return ResumeAck{}, &ServerError{Msg: env.Err}
 	}
 	if !env.ResumeAck.ResumeAck {
-		return ResumeAck{}, fmt.Errorf("server: expected resume ack, got %q", c.sc.Text())
+		return ResumeAck{}, fmt.Errorf("server: expected resume ack, got %q", line)
 	}
 	return env.ResumeAck, nil
 }
 
-func (c *Client) send(rec Record) error {
-	if err := c.enc.Encode(rec); err != nil {
-		return err
-	}
-	return c.w.Flush()
-}
-
 // FetchStats opens a one-shot stats session against a Prognos server and
 // returns its run-metrics snapshot. This is what `prognosd` deployments
-// use for liveness dashboards.
+// use for liveness dashboards. Stats sessions are always JSONL.
 func FetchStats(addr string) (metrics.ServerSnapshot, error) {
 	c, err := Dial(addr, Hello{Stats: true})
 	if err != nil {
 		return metrics.ServerSnapshot{}, err
 	}
 	defer c.Close()
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return metrics.ServerSnapshot{}, err
-		}
-		return metrics.ServerSnapshot{}, io.EOF
+	line, err := wire.ReadLine(c.br, maxLineBytes)
+	if err != nil {
+		return metrics.ServerSnapshot{}, err
 	}
 	var env struct {
 		metrics.ServerSnapshot
 		Err string `json:"error"`
 	}
-	if err := json.Unmarshal(c.sc.Bytes(), &env); err != nil {
+	if err := json.Unmarshal(line, &env); err != nil {
 		return metrics.ServerSnapshot{}, fmt.Errorf("server: bad stats response: %w", err)
 	}
 	if env.Err != "" {

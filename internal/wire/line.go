@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// ErrLineTooLong reports a JSONL line exceeding the caller's limit.
+var ErrLineTooLong = errors.New("wire: line exceeds size limit")
+
+// ReadLine reads one newline-terminated JSONL line from br, up to max
+// bytes, and returns it without its line ending ("\n" or "\r\n"). Unlike
+// bufio.Scanner it leaves br's buffer intact across calls, so the same
+// reader can be handed to a FrameReader after framing negotiation — the
+// reason both protocol endpoints read lines through this helper.
+//
+// A final line without a newline is returned as-is (with a nil error); the
+// next call returns io.EOF. The returned slice aliases br's buffer and is
+// only valid until the next read from br.
+func ReadLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if line == nil && err == nil {
+			// Whole line in one fragment: hand out the buffer alias.
+			line = frag
+			break
+		}
+		line = append(line, frag...)
+		if len(line) > max+1 { // +1 for the not-yet-stripped newline
+			return nil, ErrLineTooLong
+		}
+		if err == nil {
+			break
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			if len(line) == 0 {
+				return nil, io.EOF
+			}
+			if len(line) > max {
+				return nil, ErrLineTooLong
+			}
+			return line, nil // partial final line, Scanner-compatible
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1] // strip '\n'
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	if len(line) > max {
+		return nil, ErrLineTooLong
+	}
+	return line, nil
+}

@@ -6,9 +6,13 @@
 // extra metrics reported via b.ReportMetric (e.g. HO/km, F1). Context
 // lines (goos/goarch/pkg/cpu) are carried into the envelope. With
 // -fleet report.json (a cmd/prognosload -report file), the fleet's serving
-// latency/throughput report is merged into the envelope under "fleet", so
-// one BENCH_<date>.json tracks the sim substrate and the serving path
-// side by side. Chaos-run reports carry their resilience counters
+// latency/throughput report is merged into the envelope under "fleet", and
+// -fleet-closed merges a second report under "fleet_closed" — the
+// closed-loop peak-capacity run (binary framing, pipelining window; see
+// EXPERIMENTS.md §Binary vs JSONL framing) whose predictions_per_sec is
+// the serving path's headline number. One BENCH_<date>.json thus tracks
+// the sim substrate and the serving path side by side. Chaos-run reports
+// carry their resilience counters
 // (lost_samples, reconnects, resumed_sessions, cold_resumes, chaos_seed,
 // chaos_faults) in the same section, so reconnect behaviour is diffable
 // across commits too.
@@ -43,12 +47,30 @@ type File struct {
 	GoVersion  string            `json:"go_version"`
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
-	// Fleet is the serving-path load report merged in via -fleet.
-	Fleet *fleet.Report `json:"fleet,omitempty"`
+	// Fleet is the open-loop serving-path load report merged in via
+	// -fleet; FleetClosed the closed-loop capacity report via -fleet-closed.
+	Fleet       *fleet.Report `json:"fleet,omitempty"`
+	FleetClosed *fleet.Report `json:"fleet_closed,omitempty"`
+}
+
+// loadFleetReport reads one cmd/prognosload -report file.
+func loadFleetReport(path string) *fleet.Report {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse fleet report %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return &rep
 }
 
 func main() {
 	fleetPath := flag.String("fleet", "", "merge a cmd/prognosload -report JSON file into the envelope")
+	fleetClosedPath := flag.String("fleet-closed", "", "merge a closed-loop -report JSON file under fleet_closed")
 	flag.Parse()
 
 	out := File{
@@ -58,17 +80,10 @@ func main() {
 		Benchmarks: map[string]Result{},
 	}
 	if *fleetPath != "" {
-		b, err := os.ReadFile(*fleetPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
-		}
-		var rep fleet.Report
-		if err := json.Unmarshal(b, &rep); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: parse fleet report %s: %v\n", *fleetPath, err)
-			os.Exit(1)
-		}
-		out.Fleet = &rep
+		out.Fleet = loadFleetReport(*fleetPath)
+	}
+	if *fleetClosedPath != "" {
+		out.FleetClosed = loadFleetReport(*fleetClosedPath)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
