@@ -1,6 +1,6 @@
 # Development targets; CI runs `make ci` (see .github/workflows/ci.yml).
 
-.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat
+.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster
 
 # CI umbrella: everything the merge gate needs, cheapest signal first.
 ci: check race cover
@@ -17,6 +17,7 @@ check:
 	go build ./...
 	go test -short ./...
 	$(MAKE) chaos
+	$(MAKE) cluster
 
 # Race-enabled short suite: guards the parallel experiment engine. The
 # experiments package trims to a fast experiment subset under the race
@@ -60,6 +61,16 @@ chaos:
 		-chaos-reset 0.2 -chaos-partial 0.3 -chaos-stall 0.1 \
 		-chaos-latency 0.25 -chaos-accept 0.02
 
+# Cluster smoke: a 64-UE open-loop fleet over an in-process 3-node
+# cluster under the race detector, with every node drain-restarted once
+# mid-run. prognosload exits non-zero on any lost sample, any session
+# error, or a warm-resume ratio below 0.9 — the replayable proof that
+# consistent-hash routing plus warm migration survives a rolling restart
+# of the whole cluster (EXPERIMENTS.md §Rolling restart).
+cluster:
+	go run -race ./cmd/prognosload -cluster 3 -ues 64 -duration 5s \
+		-mode open -ramp 1s -rolling-restart -min-warm-resume 0.9
+
 # Wire-protocol interop smoke: a mixed-framing fleet (even UEs binary,
 # odd JSONL — see docs/PROTOCOL.md) with a pipelining window, against an
 # in-process server under the race detector. Every sample must earn a
@@ -74,19 +85,25 @@ protocol-compat:
 # (see docs/ARCHITECTURE.md §Performance for how to read and compare the
 # files). The open-loop report lands in the envelope under "fleet", the
 # closed-loop capacity run (binary framing, window 16 — the serving
-# path's headline predictions/s) under "fleet_closed".
+# path's headline predictions/s) under "fleet_closed", and the 3-node
+# cluster closed-loop pass under "fleet_cluster" (per-node rows, migration
+# counters, warm-resume ratio; see EXPERIMENTS.md §Cluster capacity).
 # `date -u` pins the filename to UTC so a nightly run names the same file
 # no matter which timezone the runner happens to be in.
 BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPatternMatch)$$
 FLEET_REPORT ?= /tmp/benchjson-fleet.json
 FLEET_CLOSED_REPORT ?= /tmp/benchjson-fleet-closed.json
+FLEET_CLUSTER_REPORT ?= /tmp/benchjson-fleet-cluster.json
 bench-json:
 	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode open \
 		-ramp 1s -report $(FLEET_REPORT)
 	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode closed \
 		-ramp 1s -framing binary -window 16 -report $(FLEET_CLOSED_REPORT)
+	go run ./cmd/prognosload -cluster 3 -ues 64 -duration 10s -mode closed \
+		-ramp 1s -framing binary -window 16 -report $(FLEET_CLUSTER_REPORT)
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| go run ./tools/benchjson -fleet $(FLEET_REPORT) \
 			-fleet-closed $(FLEET_CLOSED_REPORT) \
+			-fleet-cluster $(FLEET_CLUSTER_REPORT) \
 		> BENCH_$$(date -u +%Y-%m-%d).json
 	@ls BENCH_$$(date -u +%Y-%m-%d).json

@@ -39,12 +39,22 @@
 // it stays scrapeable through the drain and stops only after the last
 // session finishes.
 //
+// Clustering: -cluster takes the full member list (comma-separated) and
+// -advertise this node's address within it (default -addr). A clustered
+// node owns the session tokens the consistent-hash ring assigns it and
+// answers sessions for other owners with a structured redirect; at
+// shutdown it drains warm — parked sessions and learned context state
+// ship to the ring successors over migration streams so resumed sessions
+// start warm on their new node (docs/ARCHITECTURE.md §Cluster,
+// docs/PROTOCOL.md §Migration frames).
+//
 // Usage:
 //
 //	prognosd [-addr 127.0.0.1:7015] [-stats-interval 30s]
 //	         [-max-sessions 0] [-session-timeout 0] [-drain-timeout 10s]
 //	         [-resume-grace 30s] [-checkpoint dir] [-checkpoint-interval 10s]
 //	         [-ops-addr 127.0.0.1:9090] [-trace-file events.jsonl]
+//	         [-cluster host:7015,host:7016,host:7017] [-advertise host:7015]
 //
 // Try it against a simulated drive with examples/livepredict, or load it
 // with a synthetic UE fleet via cmd/prognosload.
@@ -57,9 +67,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -75,7 +87,34 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-interval", 10*time.Second, "periodic checkpoint interval when -checkpoint is set")
 	opsAddr := flag.String("ops-addr", "", "HTTP ops plane address (/metrics, /healthz, /readyz, /events, /debug/pprof); empty = off")
 	traceFile := flag.String("trace-file", "", "mirror serving-pipeline trace events to this JSONL file")
+	clusterList := flag.String("cluster", "", "comma-separated cluster member list (must include this node's advertised address); empty = single node")
+	advertise := flag.String("advertise", "", "this node's address within -cluster (defaults to -addr)")
 	flag.Parse()
+
+	// Cluster wiring: the member list plus this node's advertised identity
+	// turn on consistent-hash ownership (sessions for tokens another node
+	// owns are redirected there) and warm drain-to-cluster at shutdown.
+	var ring *cluster.Ring
+	nodeAddr := *advertise
+	if nodeAddr == "" {
+		nodeAddr = *addr
+	}
+	if *clusterList != "" {
+		members := strings.Split(*clusterList, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		var err error
+		ring, err = cluster.New(members, cluster.NewRingPolicy())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prognosd: -cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if !ring.Contains(nodeAddr) {
+			fmt.Fprintf(os.Stderr, "prognosd: advertised address %s is not in the cluster member list %v\n", nodeAddr, ring.Members())
+			os.Exit(1)
+		}
+	}
 
 	// The tracer exists whenever anything consumes it; a nil tracer makes
 	// every instrumentation site in the server a no-op.
@@ -101,12 +140,18 @@ func main() {
 		CheckpointDir:      *checkpointDir,
 		CheckpointInterval: *checkpointEvery,
 		Tracer:             tracer,
+		Cluster:            ring,
+		NodeAddr:           nodeAddr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("prognosd listening on %s\n", srv.Addr())
+	if ring != nil {
+		fmt.Printf("prognosd listening on %s (cluster node %s of %d)\n", srv.Addr(), nodeAddr, ring.Size())
+	} else {
+		fmt.Printf("prognosd listening on %s\n", srv.Addr())
+	}
 
 	// ListenWith has already restored checkpoints synchronously, so by the
 	// time the ops plane is reachable the daemon is genuinely ready; the
@@ -114,6 +159,12 @@ func main() {
 	var plane *obs.Plane
 	if *opsAddr != "" {
 		reg := obs.NewRegistry()
+		if ring != nil {
+			// One scraper watching N nodes tells them apart by the node
+			// identity label rather than by scrape target alone.
+			reg.SetConstLabels(map[string]string{"node": nodeAddr})
+		}
+		obs.RegisterBuildInfo(reg)
 		obs.RegisterServerMetrics(reg, srv.Stats)
 		plane, err = obs.Listen(*opsAddr, obs.Config{
 			Registry: reg,
@@ -151,8 +202,17 @@ func main() {
 	// Shutdown order matters: Drain flips /readyz to 503 the moment it
 	// starts (stop-accept), the ops plane keeps answering scrapes while
 	// in-flight sessions finish, and only after the drain completes does
-	// the plane itself go away.
-	if err := srv.Drain(*drainTimeout); err != nil {
+	// the plane itself go away. A cluster node drains its warm state to
+	// its peers instead of waiting sessions out, so the fleet's resilient
+	// clients resume warm on the ring successors (zero lost samples).
+	if ring != nil {
+		ds, err := srv.DrainToCluster(*drainTimeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prognosd: drain-to-cluster: %v\n", err)
+		}
+		fmt.Printf("prognosd: migrated %d sessions + %d contexts (%d bytes) to %d peers in %v\n",
+			ds.Sessions, ds.Contexts, ds.Bytes, ds.Targets, ds.Elapsed.Round(time.Millisecond))
+	} else if err := srv.Drain(*drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
 	}
 	if plane != nil {

@@ -17,6 +17,16 @@
 //	            [-dial-timeout 5s] [-reconnect 8] [-report fleet.json]
 //	            [-ops-addr 127.0.0.1:0]
 //	            [-chaos] [-chaos-seed 1] [-chaos-reset 0.05] ...
+//	            [-addrs h:7015,h:7016,h:7017 | -cluster 3]
+//	            [-rolling-restart] [-min-warm-resume 0.9]
+//
+// Cluster mode: -addrs points the fleet at an external prognosd cluster
+// (each UE dials its token's consistent-hash owner, with the remaining
+// members as fallbacks, and follows ownership redirects); -cluster N
+// starts an in-process N-node cluster instead. -rolling-restart drain-
+// restarts every in-process node once under load — the zero-loss warm
+// migration acceptance run `make cluster` gates on, together with
+// -min-warm-resume.
 //
 // -framing selects the wire framing the UEs negotiate (docs/PROTOCOL.md):
 // jsonl (default), binary, or mixed (even UEs binary, odd JSONL — the
@@ -42,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cellular"
@@ -75,6 +86,10 @@ func main() {
 	chaosStall := flag.Float64("chaos-stall", 0.1, "per-connection probability of a mid-stream stall")
 	chaosLatency := flag.Float64("chaos-latency", 0.25, "per-connection probability of added first-byte latency")
 	chaosAccept := flag.Float64("chaos-accept", 0.02, "probability an accept is refused outright")
+	addrs := flag.String("addrs", "", "comma-separated external cluster member list; UEs route by consistent hash")
+	clusterNodes := flag.Int("cluster", 0, "start an in-process cluster of N nodes and load it (N > 1)")
+	rollingRestart := flag.Bool("rolling-restart", false, "with -cluster: drain-restart every node once under load")
+	minWarmResume := flag.Float64("min-warm-resume", 0, "fail the run if the warm-resume ratio falls below this (0 = off)")
 	flag.Parse()
 
 	m, err := fleet.ParseMode(*mode)
@@ -109,6 +124,19 @@ func main() {
 	if *selfServe {
 		cfg.Addr = ""
 		cfg.Server = server.Options{}
+	}
+	if *addrs != "" {
+		cfg.Addr = ""
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Addrs = append(cfg.Addrs, a)
+			}
+		}
+	}
+	if *clusterNodes > 1 {
+		cfg.Addr = ""
+		cfg.ClusterNodes = *clusterNodes
+		cfg.RollingRestart = *rollingRestart
 	}
 	if *chaosOn {
 		cfg.Chaos = &chaos.Config{
@@ -148,6 +176,15 @@ func main() {
 		fmt.Printf("chaos: seed %d  faults %d  reconnects %d  resumed %d  cold %d  lost samples %d\n",
 			rep.ChaosSeed, rep.ChaosFaults, rep.Reconnects, rep.ResumedSessions, rep.ColdResumes, rep.LostSamples)
 	}
+	if rep.ClusterSize > 0 {
+		fmt.Printf("cluster: %d nodes  restarts %d  migrated %d sessions (%d bytes)  redirects %d  warm-resume %.2f  lost samples %d\n",
+			rep.ClusterSize, rep.RollingRestarts, rep.MigratedSessions, rep.MigrationBytes,
+			rep.Redirects, rep.WarmResumeRatio, rep.LostSamples)
+		for _, n := range rep.PerNode {
+			fmt.Printf("  node %s: sessions %d  samples %d  restarts %d  migrated out/in %d/%d  resumed %d\n",
+				n.Addr, n.Sessions, n.Samples, n.Restarts, n.MigratedOut, n.MigratedIn, n.Resumed)
+		}
+	}
 	if rep.FailedUEs > 0 {
 		fmt.Printf("FAILED UEs: %d\n", rep.FailedUEs)
 		for _, e := range rep.Errors {
@@ -175,6 +212,11 @@ func main() {
 	}
 	if rep.LostSamples > 0 {
 		fmt.Printf("FAILED: %d samples lost\n", rep.LostSamples)
+	}
+	if *minWarmResume > 0 && rep.WarmResumeRatio < *minWarmResume {
+		failed = true
+		fmt.Printf("FAILED: warm-resume ratio %.2f below -min-warm-resume %.2f (resumed %d, cold %d)\n",
+			rep.WarmResumeRatio, *minWarmResume, rep.ResumedSessions, rep.ColdResumes)
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// SessionStateVersion gates the migration payload schema, independently of
+// the checkpoint format's core.SnapshotVersion (which versions Snapshot
+// itself): a receiving node rejects states from a future schema instead of
+// mis-reading them.
+const SessionStateVersion = 1
+
+// SessionState is one unit of warm state shipped between nodes inside a
+// FrameMigrate frame (JSON-encoded; docs/PROTOCOL.md §Migration frames).
+// Two shapes travel under the same type:
+//
+//   - Token != "": a parked session. The receiver re-parks it — learned
+//     snapshot, resume cursor and replay buffer intact — so the UE's next
+//     reconnect resumes warm with exact replay, as if it had never left
+//     the origin node.
+//   - Token == "": a context-level warm snapshot (the freshest learned
+//     state for one (carrier, arch) deployment context). The receiver
+//     folds it into its warm store so even UEs without parked state
+//     bootstrap from the migrated learning.
+type SessionState struct {
+	Version int           `json:"version"`
+	Origin  string        `json:"origin,omitempty"`
+	Token   string        `json:"token,omitempty"`
+	Carrier string        `json:"carrier"`
+	Arch    cellular.Arch `json:"arch"`
+	// Seq is the parked session's resume cursor (highest answered
+	// Response.Seq); Responses its replay buffer, oldest first, exactly
+	// the responses a resuming client may still be missing.
+	Seq       int64           `json:"seq,omitempty"`
+	Responses []wire.Response `json:"responses,omitempty"`
+	Snapshot  core.Snapshot   `json:"snapshot"`
+}
+
+// ShipStats accounts one migration pass to one target node.
+type ShipStats struct {
+	// Sessions and Contexts count the accepted parked-session and
+	// warm-snapshot states; Rejected the states the target nacked.
+	Sessions int
+	Contexts int
+	Rejected int
+	// Bytes is the total FrameMigrate payload bytes shipped (the
+	// bytes-moved cost of the pass, before framing overhead).
+	Bytes int64
+}
+
+// Ship opens one migration stream to addr and ships states over it,
+// pipelined, returning per-target accounting. origin names the shipping
+// node (it travels in the hello and tags the target's trace events). The
+// whole exchange — dial, handshake, every frame and ack — happens within
+// timeout. Any transport or protocol error aborts the pass; migration is
+// best-effort by design, because every shipped state is also recoverable
+// the slow way (cold start warmed by checkpoint, §Resilience).
+func Ship(addr, origin string, states []SessionState, timeout time.Duration) (ShipStats, error) {
+	var st ShipStats
+	if len(states) == 0 {
+		return st, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return st, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return st, err
+	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	hello, err := json.Marshal(wire.Hello{Migrate: true, Node: origin, Framing: string(wire.FramingBinary)})
+	if err != nil {
+		return st, err
+	}
+	hello = append(hello, '\n')
+	if _, err := bw.Write(hello); err != nil {
+		return st, err
+	}
+	if err := bw.Flush(); err != nil {
+		return st, err
+	}
+	line, err := wire.ReadLine(br, wire.MaxLineBytes)
+	if err != nil {
+		return st, fmt.Errorf("cluster: read migrate handshake from %s: %w", addr, err)
+	}
+	var env struct {
+		FramingAck bool   `json:"framing_ack"`
+		Err        string `json:"error"`
+	}
+	if err := json.Unmarshal(line, &env); err != nil {
+		return st, fmt.Errorf("cluster: bad migrate handshake from %s: %w", addr, err)
+	}
+	if env.Err != "" {
+		return st, fmt.Errorf("cluster: %s rejected migration: %s", addr, env.Err)
+	}
+	if !env.FramingAck {
+		return st, fmt.Errorf("cluster: %s answered migrate hello without framing ack", addr)
+	}
+
+	// Ship everything pipelined, then collect one ack per state. The ack
+	// seq is the 1-based send ordinal, so verdicts stay attributable even
+	// though the target answers in order.
+	fw := wire.NewFrameWriter(bw)
+	for _, s := range states {
+		s.Version = SessionStateVersion
+		if s.Origin == "" {
+			s.Origin = origin
+		}
+		payload, err := json.Marshal(s)
+		if err != nil {
+			return st, fmt.Errorf("cluster: encode session state %q: %w", s.Token, err)
+		}
+		if err := fw.WriteMigrate(payload); err != nil {
+			return st, err
+		}
+		st.Bytes += int64(len(payload))
+	}
+	if err := bw.Flush(); err != nil {
+		return st, err
+	}
+	fr := wire.NewFrameReader(br)
+	for i := range states {
+		typ, p, err := fr.ReadFrame()
+		if err != nil {
+			return st, fmt.Errorf("cluster: read migrate ack %d/%d from %s: %w", i+1, len(states), addr, err)
+		}
+		switch typ {
+		case wire.FrameMigrateAck:
+		case wire.FrameError:
+			return st, fmt.Errorf("cluster: %s aborted migration: %s", addr, p)
+		default:
+			return st, fmt.Errorf("cluster: unexpected frame 0x%02x in migrate ack stream", typ)
+		}
+		var ack wire.MigrateAck
+		if err := wire.DecodeMigrateAck(p, &ack); err != nil {
+			return st, err
+		}
+		if ack.Seq != int64(i+1) {
+			return st, fmt.Errorf("cluster: migrate ack out of order: got seq %d, want %d", ack.Seq, i+1)
+		}
+		switch {
+		case !ack.OK:
+			st.Rejected++
+		case states[i].Token != "":
+			st.Sessions++
+		default:
+			st.Contexts++
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,224 @@
+// Cluster load mode. The fleet can drive a multi-node prognosd cluster in
+// two shapes: Config.Addrs points the UEs at an external member list, or
+// Config.ClusterNodes spins up an in-process N-node rig on loopback ports
+// — pre-bound listeners so every node knows the full ring before the
+// first byte is served. Either way each UE routes itself by the same
+// consistent-hash ring the servers use (ARCHITECTURE.md §Cluster), dialing
+// its token's owner first with the remaining candidates as fallbacks, and
+// follows server-issued redirects when its picture of ownership is stale.
+//
+// The rig also implements the rolling-restart workload: drain one node
+// into the cluster (warm migration), close it, rebind the same address,
+// bring it back, move to the next — all under load, asserting the
+// zero-loss property end to end.
+
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// clusterNode is one member of the in-process rig. A node outlives its
+// server generations: restart swaps srv and folds the closed generation's
+// counters into prior, so stats() spans the whole run. The mutex guards
+// srv/prior against the ops plane scraping mid-restart; only the single
+// rolling-restart goroutine ever mutates them.
+type clusterNode struct {
+	addr     string
+	mu       sync.Mutex
+	srv      *server.Server
+	opts     server.Options
+	prior    metrics.ServerSnapshot
+	restarts int
+}
+
+// stats returns the node's counters across every generation so far.
+func (n *clusterNode) stats() metrics.ServerSnapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return sumSnapshots(n.prior, n.srv.Stats())
+}
+
+// clusterRig is the self-serve N-node cluster.
+type clusterRig struct {
+	ring  *cluster.Ring
+	addrs []string
+	nodes []*clusterNode
+}
+
+// newClusterRig pre-binds n loopback listeners, builds the ring over the
+// resulting addresses, and only then starts the servers — so every node's
+// ownership view is complete before it accepts its first session.
+func newClusterRig(n int, opts server.Options) (*clusterRig, error) {
+	lns := make([]net.Listener, 0, n)
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, fmt.Errorf("fleet: cluster node %d: %w", i, err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	ring, err := cluster.New(addrs, cluster.NewRingPolicy())
+	if err != nil {
+		for _, l := range lns {
+			l.Close()
+		}
+		return nil, fmt.Errorf("fleet: cluster ring: %w", err)
+	}
+	rig := &clusterRig{ring: ring, addrs: addrs}
+	for i, ln := range lns {
+		o := opts
+		o.Cluster = ring
+		o.NodeAddr = addrs[i]
+		rig.nodes = append(rig.nodes, &clusterNode{
+			addr: addrs[i],
+			srv:  server.Serve(ln, o),
+			opts: o,
+		})
+	}
+	return rig, nil
+}
+
+// restart performs one rolling-restart step on node i: drain its warm
+// state into the cluster, close it, rebind the same address, and serve
+// again. The drain is best-effort — anything a peer nacked was folded
+// into the node's own checkpoint path — so the restart proceeds even on a
+// partial ship, and the error is reported for accounting.
+func (r *clusterRig) restart(i int, drainTimeout time.Duration) error {
+	n := r.nodes[i]
+	_, drainErr := n.srv.DrainToCluster(drainTimeout)
+	n.mu.Lock()
+	n.prior = sumSnapshots(n.prior, n.srv.Stats())
+	n.mu.Unlock()
+	n.srv.Close()
+
+	// The old listener held the port until Close; rebinding can still race
+	// the kernel briefly, so retry across a short window.
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", n.addr)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: rebinding restarted node %s: %w", n.addr, err)
+	}
+	n.mu.Lock()
+	n.srv = server.Serve(ln, n.opts)
+	n.restarts++
+	n.mu.Unlock()
+	return drainErr
+}
+
+// close shuts every node down.
+func (r *clusterRig) close() {
+	for _, n := range r.nodes {
+		n.srv.Close()
+	}
+}
+
+// aggregate sums every node's counters — the cluster-wide snapshot the
+// ops plane and the report expose. Latency histograms do not sum across
+// nodes (sparse buckets); the fleet's own client-side histogram covers
+// the distribution, so the aggregate carries counters only.
+func (r *clusterRig) aggregate() metrics.ServerSnapshot {
+	var out metrics.ServerSnapshot
+	for _, n := range r.nodes {
+		out = sumSnapshots(out, n.stats())
+	}
+	return out
+}
+
+// sumSnapshots adds b's counters onto a. Gauges that only make sense per
+// instance keep the maximum (uptime) or sum of current values (active,
+// parked); the latency histogram is dropped (see aggregate).
+func sumSnapshots(a, b metrics.ServerSnapshot) metrics.ServerSnapshot {
+	if b.UptimeMS > a.UptimeMS {
+		a.UptimeMS = b.UptimeMS
+	}
+	a.Sessions += b.Sessions
+	a.Active += b.Active
+	a.Samples += b.Samples
+	a.Reports += b.Reports
+	a.Handovers += b.Handovers
+	a.Predictions += b.Predictions
+	a.Rejected += b.Rejected
+	a.SessionErrors += b.SessionErrors
+	a.Oversized += b.Oversized
+	a.Interrupted += b.Interrupted
+	a.Resumed += b.Resumed
+	a.Parked += b.Parked
+	a.ParkedExpired += b.ParkedExpired
+	a.CheckpointSaves += b.CheckpointSaves
+	a.CheckpointRestores += b.CheckpointRestores
+	a.CheckpointBytes += b.CheckpointBytes
+	a.Redirected += b.Redirected
+	a.MigratedOut += b.MigratedOut
+	a.MigratedIn += b.MigratedIn
+	a.MigratedResumes += b.MigratedResumes
+	a.MigrationBytesOut += b.MigrationBytesOut
+	a.MigrationBytesIn += b.MigrationBytesIn
+	a.MigrationPasses += b.MigrationPasses
+	if b.MigrationLastUS > a.MigrationLastUS {
+		a.MigrationLastUS = b.MigrationLastUS
+	}
+	a.Latency = metrics.LatencySnapshot{}
+	return a
+}
+
+// NodeReport is one cluster member's slice of a fleet report.
+type NodeReport struct {
+	Addr     string `json:"addr"`
+	Restarts int    `json:"restarts,omitempty"`
+	// Counters span every server generation of the node (restarts fold
+	// the closed generation in), so a restarted node keeps its history.
+	Sessions        int64 `json:"sessions"`
+	Samples         int64 `json:"samples"`
+	Predictions     int64 `json:"predictions"`
+	Resumed         int64 `json:"resumed_sessions,omitempty"`
+	Redirected      int64 `json:"redirected_sessions,omitempty"`
+	MigratedOut     int64 `json:"migrated_out_sessions,omitempty"`
+	MigratedIn      int64 `json:"migrated_in_sessions,omitempty"`
+	MigratedResumes int64 `json:"migrated_resumes,omitempty"`
+	SessionErrors   int64 `json:"session_errors,omitempty"`
+}
+
+// nodeReport flattens one rig node's lifetime counters.
+func nodeReport(n *clusterNode) NodeReport {
+	rep := snapshotReport(n.addr, n.stats())
+	rep.Restarts = n.restarts
+	return rep
+}
+
+// snapshotReport flattens one member's snapshot (rig-held or fetched from
+// an external node's stats endpoint) into its report row.
+func snapshotReport(addr string, s metrics.ServerSnapshot) NodeReport {
+	return NodeReport{
+		Addr:            addr,
+		Sessions:        s.Sessions,
+		Samples:         s.Samples,
+		Predictions:     s.Predictions,
+		Resumed:         s.Resumed,
+		Redirected:      s.Redirected,
+		MigratedOut:     s.MigratedOut,
+		MigratedIn:      s.MigratedIn,
+		MigratedResumes: s.MigratedResumes,
+		SessionErrors:   s.SessionErrors,
+	}
+}

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/server"
+)
+
+// TestFleetClusterClosedLoop drives a 3-node in-process cluster in closed
+// loop: every UE dials its token's ring owner directly, so the run needs
+// no redirects, every node serves its share, and the per-node rows sum to
+// the aggregate.
+func TestFleetClusterClosedLoop(t *testing.T) {
+	rep, err := Run(Config{
+		UEs:          12,
+		Duration:     600 * time.Millisecond,
+		Mode:         ModeClosed,
+		Seed:         3,
+		ClusterNodes: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("failed UEs %d, errors %v", rep.FailedUEs, rep.Errors)
+	}
+	if rep.LostSamples != 0 || rep.Samples != rep.Predictions {
+		t.Fatalf("lost %d (samples %d, predictions %d)", rep.LostSamples, rep.Samples, rep.Predictions)
+	}
+	if rep.ClusterSize != 3 || len(rep.Addrs) != 3 || len(rep.PerNode) != 3 {
+		t.Fatalf("cluster accounting: size %d, addrs %v, per-node %d", rep.ClusterSize, rep.Addrs, len(rep.PerNode))
+	}
+	var nodeSamples, nodeSessions int64
+	for _, n := range rep.PerNode {
+		nodeSamples += n.Samples
+		nodeSessions += n.Sessions
+		if n.SessionErrors != 0 {
+			t.Errorf("node %s counted %d session errors", n.Addr, n.SessionErrors)
+		}
+	}
+	if nodeSamples != rep.Samples {
+		t.Errorf("per-node samples sum %d != fleet samples %d", nodeSamples, rep.Samples)
+	}
+	if nodeSessions != int64(rep.UEs) {
+		t.Errorf("per-node sessions sum %d != %d UEs", nodeSessions, rep.UEs)
+	}
+	// Ring-routed UEs land on their owner first try: no redirects.
+	if rep.Redirects != 0 {
+		t.Errorf("direct-routed run followed %d redirects", rep.Redirects)
+	}
+	if rep.Server == nil || rep.Server.Samples != rep.Samples {
+		t.Fatalf("aggregate snapshot mismatch: %+v", rep.Server)
+	}
+}
+
+// TestFleetRollingRestartZeroLoss is the cluster acceptance check in
+// miniature (make cluster runs the full-size version): an open-loop fleet
+// over a 3-node rig, with every node drain-restarted once under load, must
+// finish with zero lost samples — warm migration parks each cut session on
+// its ring successor, and the resilient clients resume there.
+func TestFleetRollingRestartZeroLoss(t *testing.T) {
+	rep, err := Run(Config{
+		UEs:            8,
+		Duration:       2 * time.Second,
+		Mode:           ModeOpen,
+		Seed:           9,
+		ClusterNodes:   3,
+		RollingRestart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("failed UEs %d, errors %v", rep.FailedUEs, rep.Errors)
+	}
+	if rep.LostSamples != 0 {
+		t.Fatalf("lost %d samples through rolling restart (sent %d, predictions %d)",
+			rep.LostSamples, rep.Samples, rep.Predictions)
+	}
+	if rep.RollingRestarts != 3 {
+		t.Fatalf("rolling restarts %d, want 3", rep.RollingRestarts)
+	}
+	if rep.Server == nil {
+		t.Fatal("cluster run lost the aggregate snapshot")
+	}
+	if rep.Server.SessionErrors != 0 {
+		t.Fatalf("cluster counted %d session errors; drains must park, not error (errors %v)",
+			rep.Server.SessionErrors, rep.Errors)
+	}
+	// Each restart cuts the sessions the node was serving; their warm
+	// state must move and be resumed from, not rebuilt cold.
+	if rep.MigratedSessions == 0 {
+		t.Error("no sessions migrated — the drains never bit, test is vacuous")
+	}
+	if rep.MigrationBytes == 0 {
+		t.Error("migration moved zero bytes")
+	}
+	if rep.ResumedSessions == 0 {
+		t.Error("restarts happened but no session ever resumed")
+	}
+	if rep.WarmResumeRatio < 0.9 {
+		t.Errorf("warm resume ratio %.2f (resumed %d, cold %d), want >= 0.9",
+			rep.WarmResumeRatio, rep.ResumedSessions, rep.ColdResumes)
+	}
+	var restarts int
+	for _, n := range rep.PerNode {
+		restarts += n.Restarts
+	}
+	if restarts != 3 {
+		t.Errorf("per-node restart sum %d, want 3", restarts)
+	}
+}
+
+// TestFleetClusterExternalAddrs exercises the Addrs path: the servers are
+// "external" (a rig the fleet run does not own), the UEs route over their
+// own ring built from the member list, and per-node stats come from each
+// node's stats endpoint.
+func TestFleetClusterExternalAddrs(t *testing.T) {
+	rig, err := newClusterRig(3, server.Options{ResumeGrace: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.close()
+
+	rep, err := Run(Config{
+		UEs:      6,
+		Duration: 400 * time.Millisecond,
+		Mode:     ModeClosed,
+		Seed:     17,
+		Addrs:    rig.addrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("failed UEs %d, errors %v", rep.FailedUEs, rep.Errors)
+	}
+	if rep.LostSamples != 0 {
+		t.Fatalf("lost %d samples", rep.LostSamples)
+	}
+	if rep.ClusterSize != 3 || len(rep.PerNode) != 3 {
+		t.Fatalf("external cluster accounting: size %d, per-node %d", rep.ClusterSize, len(rep.PerNode))
+	}
+	if rep.Server == nil || rep.Server.Samples != rep.Samples {
+		t.Fatalf("fetched aggregate mismatch: %+v", rep.Server)
+	}
+}
+
+// TestFleetClusterConfigErrors pins the mutual-exclusion rules.
+func TestFleetClusterConfigErrors(t *testing.T) {
+	bad := []Config{
+		{ClusterNodes: 3, Addr: "127.0.0.1:1"},
+		{Addrs: []string{"a:1", "b:2"}, Addr: "127.0.0.1:1"},
+		{ClusterNodes: 3, Addrs: []string{"a:1", "b:2"}},
+		{ClusterNodes: 2, Chaos: &chaos.Config{}},
+		{RollingRestart: true},
+		{RollingRestart: true, Addrs: []string{"a:1", "b:2"}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}

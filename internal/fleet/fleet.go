@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -76,6 +77,22 @@ type Config struct {
 	// server (with Server options) on a loopback port for the run —
 	// the self-contained shape `make loadtest` uses.
 	Addr string
+	// Addrs points the fleet at an external cluster: the full member
+	// list, in any order (the ring dedups and sorts). Each UE computes
+	// its token's candidate order over the same consistent-hash ring the
+	// servers use and dials the owner first, with the rest as fallbacks.
+	// A single-element list degenerates to Addr. Mutually exclusive with
+	// Addr, ClusterNodes and Chaos.
+	Addrs []string
+	// ClusterNodes > 1 starts an in-process cluster of that many nodes
+	// (each with Server options plus its ring wiring) instead of the
+	// single self-serve server. Mutually exclusive with Addr/Addrs/Chaos.
+	ClusterNodes int
+	// RollingRestart, in ClusterNodes mode, restarts every node once
+	// during the load phase — drain-to-cluster, close, rebind, serve —
+	// staggered evenly across the run. The acceptance bar is the same as
+	// chaos: zero lost samples.
+	RollingRestart bool
 	// UEs is the fleet size (default 8).
 	UEs int
 	// Duration is how long each UE streams (default 10s).
@@ -157,11 +174,24 @@ func (c Config) withDefaults() Config {
 	if c.Chaos != nil && c.Addr == "" && c.Server.ResumeGrace == 0 {
 		c.Server.ResumeGrace = 5 * time.Second
 	}
+	if len(c.Addrs) == 1 && c.Addr == "" {
+		c.Addr, c.Addrs = c.Addrs[0], nil
+	}
+	// A cluster rig needs a resume grace window: migration parks shipped
+	// sessions on the successor, and a restart is survivable only if the
+	// cut sessions can resume.
+	if c.ClusterNodes > 1 && c.Server.ResumeGrace == 0 {
+		c.Server.ResumeGrace = 5 * time.Second
+	}
 	return c
 }
 
 // ueSeed derives UE i's drive seed from the fleet seed.
 func (c Config) ueSeed(i int) int64 { return c.Seed + int64(i)*7919 + 1 }
+
+// ueToken is UE i's deterministic session token — the identity the ring
+// places and a reconnect resumes.
+func (c Config) ueToken(i int) string { return fmt.Sprintf("fleet-%d-ue-%d", c.Seed, i) }
 
 // ueFraming picks UE i's wire framing under the fleet framing policy.
 func (c Config) ueFraming(i int) wire.Framing {
@@ -237,6 +267,21 @@ type Report struct {
 	// many of the drawn per-connection plans carried at least one fault.
 	ChaosSeed   int64 `json:"chaos_seed,omitempty"`
 	ChaosFaults int   `json:"chaos_faults,omitempty"`
+	// Cluster fields. Addrs is the member list the UEs routed over;
+	// ClusterSize its length; RollingRestarts how many node restarts the
+	// run performed under load. Redirects counts client-followed
+	// ownership redirects; MigratedSessions/MigrationBytes the warm
+	// states and payload bytes the cluster moved (server-side, outbound);
+	// WarmResumeRatio is resumed/(resumed+cold) across the fleet — the
+	// zero-loss acceptance bar wants it near 1.
+	Addrs            []string     `json:"addrs,omitempty"`
+	ClusterSize      int          `json:"cluster_size,omitempty"`
+	RollingRestarts  int          `json:"rolling_restarts,omitempty"`
+	Redirects        int64        `json:"redirects,omitempty"`
+	MigratedSessions int64        `json:"migrated_sessions,omitempty"`
+	MigrationBytes   int64        `json:"migration_bytes,omitempty"`
+	WarmResumeRatio  float64      `json:"warm_resume_ratio,omitempty"`
+	PerNode          []NodeReport `json:"per_node,omitempty"`
 	// PredictionsPerSec is the fleet-wide serving throughput over the
 	// load phase.
 	PredictionsPerSec float64 `json:"predictions_per_sec"`
@@ -296,6 +341,7 @@ type counters struct {
 	reconnects  atomic.Int64
 	resumed     atomic.Int64
 	cold        atomic.Int64
+	redirects   atomic.Int64
 }
 
 // Run executes one fleet load-generation run and returns its report.
@@ -313,10 +359,40 @@ func Run(cfg Config) (*Report, error) {
 	if !carrier.Has(cfg.Arch) {
 		return nil, fmt.Errorf("fleet: carrier %s does not offer %s", carrier.Name, cfg.Arch)
 	}
+	clustered := cfg.ClusterNodes > 1 || len(cfg.Addrs) > 1
+	if clustered && (cfg.Addr != "" || cfg.Chaos != nil) {
+		return nil, fmt.Errorf("fleet: cluster mode is mutually exclusive with Addr and Chaos")
+	}
+	if cfg.ClusterNodes > 1 && len(cfg.Addrs) > 1 {
+		return nil, fmt.Errorf("fleet: set ClusterNodes or Addrs, not both")
+	}
+	if cfg.RollingRestart && cfg.ClusterNodes <= 1 {
+		return nil, fmt.Errorf("fleet: RollingRestart requires an in-process cluster (ClusterNodes > 1)")
+	}
 
 	addr := cfg.Addr
-	var selfServe *server.Server
-	if addr == "" {
+	var (
+		selfServe  *server.Server
+		rig        *clusterRig
+		clientRing *cluster.Ring
+	)
+	switch {
+	case cfg.ClusterNodes > 1:
+		rig, err = newClusterRig(cfg.ClusterNodes, cfg.Server)
+		if err != nil {
+			return nil, err
+		}
+		defer rig.close()
+		clientRing = rig.ring
+	case len(cfg.Addrs) > 1:
+		// External cluster: the UEs route over their own ring built from
+		// the same member list the servers were started with; redirects
+		// correct any residual disagreement.
+		clientRing, err = cluster.New(cfg.Addrs, cluster.NewRingPolicy())
+		if err != nil {
+			return nil, fmt.Errorf("fleet: cluster ring: %w", err)
+		}
+	case addr == "":
 		selfServe, err = server.ListenWith("127.0.0.1:0", cfg.Server)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: self-serve: %w", err)
@@ -325,16 +401,23 @@ func Run(cfg Config) (*Report, error) {
 		addr = selfServe.Addr()
 	}
 	// A self-serve run with an OpsAddr gets its own ops plane over the
-	// in-process server's counters, exactly as prognosd -ops-addr would
-	// serve them; against an external server the configured address is
-	// assumed to be that daemon's already-running plane.
+	// in-process counters — the single server's, or the cluster-wide
+	// aggregate — exactly as prognosd -ops-addr would serve them; against
+	// an external server the configured address is assumed to be that
+	// daemon's already-running plane.
 	scrapeAddr := cfg.OpsAddr
-	if cfg.OpsAddr != "" && selfServe != nil {
+	if cfg.OpsAddr != "" && (selfServe != nil || rig != nil) {
 		reg := obs.NewRegistry()
-		obs.RegisterServerMetrics(reg, selfServe.Stats)
+		ready := func() bool { return true }
+		if rig != nil {
+			obs.RegisterServerMetrics(reg, rig.aggregate)
+		} else {
+			obs.RegisterServerMetrics(reg, selfServe.Stats)
+			ready = func() bool { return !selfServe.Draining() }
+		}
 		plane, err := obs.Listen(cfg.OpsAddr, obs.Config{
 			Registry: reg,
-			Ready:    func() bool { return !selfServe.Draining() },
+			Ready:    ready,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: ops plane: %w", err)
@@ -397,8 +480,7 @@ func Run(cfg Config) (*Report, error) {
 		errs  []string
 	)
 	failed := atomic.Int64{}
-	recordErr := func(err error) {
-		failed.Add(1)
+	addErr := func(err error) {
 		errMu.Lock()
 		defer errMu.Unlock()
 		msg := err.Error()
@@ -411,8 +493,36 @@ func Run(cfg Config) (*Report, error) {
 			errs = append(errs, msg)
 		}
 	}
+	recordErr := func(err error) {
+		failed.Add(1)
+		addErr(err)
+	}
 
 	loadStart := time.Now()
+	// The rolling-restart workload: under full load, drain-restart every
+	// rig node once, staggered evenly across the run (node i restarts at
+	// the (i+1)/(n+1) mark, so the first and last restart both land well
+	// inside the load window).
+	var restarts atomic.Int64
+	restartDone := make(chan struct{})
+	if cfg.RollingRestart && rig != nil {
+		go func() {
+			defer close(restartDone)
+			n := len(rig.nodes)
+			for i := 0; i < n; i++ {
+				due := loadStart.Add(cfg.Duration * time.Duration(i+1) / time.Duration(n+1))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				if err := rig.restart(i, 2*time.Second); err != nil {
+					addErr(fmt.Errorf("rolling restart node %d: %w", i, err))
+				}
+				restarts.Add(1)
+			}
+		}()
+	} else {
+		close(restartDone)
+	}
 	for i := 0; i < cfg.UEs; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -428,6 +538,12 @@ func Run(cfg Config) (*Report, error) {
 				hist:   &hist,
 				tot:    &tot,
 			}
+			if clientRing != nil {
+				// Cluster routing: dial the token's ring owner first; the
+				// remaining candidates are the recovery fallbacks, in the
+				// same order a drain would migrate the session.
+				ue.route = clientRing.Candidates(cfg.ueToken(i))
+			}
 			if err := ue.run(); err != nil {
 				recordErr(fmt.Errorf("ue %d: %w", i, err))
 			}
@@ -435,6 +551,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	loadWall := time.Since(loadStart)
+	<-restartDone
 
 	rep := &Report{
 		UEs:        cfg.UEs,
@@ -476,11 +593,50 @@ func Run(cfg Config) (*Report, error) {
 	if secs := loadWall.Seconds(); secs > 0 {
 		rep.PredictionsPerSec = float64(rep.Predictions) / secs
 	}
-	if selfServe != nil {
+	if clientRing != nil {
+		rep.Addrs = clientRing.Members()
+		rep.ClusterSize = clientRing.Size()
+		rep.Redirects = tot.redirects.Load()
+		rep.RollingRestarts = int(restarts.Load())
+	}
+	if denom := tot.resumed.Load() + tot.cold.Load(); denom > 0 {
+		rep.WarmResumeRatio = float64(tot.resumed.Load()) / float64(denom)
+	}
+	switch {
+	case rig != nil:
+		agg := rig.aggregate()
+		rep.Server = &agg
+		rep.MigratedSessions = agg.MigratedOut
+		rep.MigrationBytes = agg.MigrationBytesOut
+		for _, n := range rig.nodes {
+			rep.PerNode = append(rep.PerNode, nodeReport(n))
+		}
+	case clientRing != nil:
+		// External cluster: per-node stats are best-effort — a member
+		// mid-restart just drops out of this pass's report.
+		var agg metrics.ServerSnapshot
+		polled := false
+		for _, a := range clientRing.Members() {
+			snap, err := server.FetchStats(a)
+			if err != nil {
+				continue
+			}
+			polled = true
+			agg = sumSnapshots(agg, snap)
+			rep.PerNode = append(rep.PerNode, snapshotReport(a, snap))
+		}
+		if polled {
+			rep.Server = &agg
+			rep.MigratedSessions = agg.MigratedOut
+			rep.MigrationBytes = agg.MigrationBytesOut
+		}
+	case selfServe != nil:
 		snap := selfServe.Stats()
 		rep.Server = &snap
-	} else if snap, err := server.FetchStats(addr); err == nil {
-		rep.Server = &snap
+	default:
+		if snap, err := server.FetchStats(addr); err == nil {
+			rep.Server = &snap
+		}
 	}
 	if scrapeAddr != "" {
 		m, err := obs.Scrape(scrapeAddr)
@@ -494,9 +650,13 @@ func Run(cfg Config) (*Report, error) {
 
 // ueRunner is one synthetic UE's session state.
 type ueRunner struct {
-	id     int
-	cfg    Config
-	addr   string
+	id   int
+	cfg  Config
+	addr string
+	// route, in cluster mode, is the token's full candidate list in ring
+	// order: route[0] is the owner the UE dials, the rest are recovery
+	// fallbacks. Empty means single-target (addr).
+	route  []string
 	replay replay
 	hist   *metrics.Histogram
 	tot    *counters
@@ -515,19 +675,26 @@ func (u *ueRunner) run() error {
 	// writer/reader goroutine split requires auto-flush (see
 	// ClientOptions.NoAutoFlush).
 	batched := u.cfg.Mode == ModeClosed && u.cfg.ClosedWindow > 1
-	client, err := server.DialResilient(u.addr, server.ResilientOptions{
+	addr := u.addr
+	var fallbacks []string
+	if len(u.route) > 0 {
+		addr = u.route[0]
+		fallbacks = u.route[1:]
+	}
+	client, err := server.DialResilient(addr, server.ResilientOptions{
 		Hello: server.Hello{
 			Carrier:      u.cfg.Carrier,
 			Arch:         u.cfg.Arch,
-			SessionToken: fmt.Sprintf("fleet-%d-ue-%d", u.cfg.Seed, u.id),
+			SessionToken: u.cfg.ueToken(u.id),
 		},
 		Dial: server.ClientOptions{
 			DialTimeout: u.cfg.DialTimeout,
 			Framing:     u.cfg.ueFraming(u.id),
 			NoAutoFlush: batched,
 		},
-		Retry: retry,
-		Seed:  u.cfg.ueSeed(u.id),
+		Retry:     retry,
+		Seed:      u.cfg.ueSeed(u.id),
+		Fallbacks: fallbacks,
 	})
 	if err != nil {
 		return err
@@ -538,6 +705,7 @@ func (u *ueRunner) run() error {
 		u.tot.reconnects.Add(st.Reconnects)
 		u.tot.resumed.Add(st.Resumed)
 		u.tot.cold.Add(st.ColdResumes)
+		u.tot.redirects.Add(st.Redirects)
 		client.Close()
 	}()
 	if u.cfg.Mode == ModeClosed {

@@ -166,6 +166,15 @@ type ServerStats struct {
 	checkpointLoads atomic.Int64
 	checkpointBytes atomic.Int64
 
+	redirected        atomic.Int64
+	migratedOut       atomic.Int64
+	migratedIn        atomic.Int64
+	migratedResumes   atomic.Int64
+	migrationBytesOut atomic.Int64
+	migrationBytesIn  atomic.Int64
+	migrationPasses   atomic.Int64
+	migrationLastUS   atomic.Int64
+
 	latency Histogram
 }
 
@@ -232,6 +241,30 @@ func (s *ServerStats) CheckpointSaved(n int64) {
 // disk at startup.
 func (s *ServerStats) CheckpointRestored() { s.checkpointLoads.Add(1) }
 
+// SessionRedirected records a session turned away with a redirect to the
+// cluster node that owns its token (not a session error: the client
+// re-dials and is served there).
+func (s *ServerStats) SessionRedirected() { s.redirected.Add(1) }
+
+// SessionMigratedOut records one warm session state shipped to another
+// node; SessionMigratedIn one installed from another node.
+func (s *ServerStats) SessionMigratedOut() { s.migratedOut.Add(1) }
+func (s *ServerStats) SessionMigratedIn()  { s.migratedIn.Add(1) }
+
+// MigratedResume records a resumed session whose warm state arrived by
+// migration rather than being parked locally — the warm-handoff success
+// signal of a drain.
+func (s *ServerStats) MigratedResume() { s.migratedResumes.Add(1) }
+
+// MigrationShipped records the payload bytes of one outbound migration
+// pass and its duration; MigrationReceived the inbound payload bytes.
+func (s *ServerStats) MigrationShipped(bytes int64, d time.Duration) {
+	s.migrationPasses.Add(1)
+	s.migrationBytesOut.Add(bytes)
+	s.migrationLastUS.Store(d.Microseconds())
+}
+func (s *ServerStats) MigrationReceived(bytes int64) { s.migrationBytesIn.Add(bytes) }
+
 // ObserveLatency records one request's server-side serving latency (for
 // the prediction path: sample decode through response flush).
 func (s *ServerStats) ObserveLatency(d time.Duration) { s.latency.Observe(d) }
@@ -257,7 +290,17 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		CheckpointSaves:    s.checkpointSaves.Load(),
 		CheckpointRestores: s.checkpointLoads.Load(),
 		CheckpointBytes:    s.checkpointBytes.Load(),
-		Latency:            s.latency.Snapshot(),
+
+		Redirected:        s.redirected.Load(),
+		MigratedOut:       s.migratedOut.Load(),
+		MigratedIn:        s.migratedIn.Load(),
+		MigratedResumes:   s.migratedResumes.Load(),
+		MigrationBytesOut: s.migrationBytesOut.Load(),
+		MigrationBytesIn:  s.migrationBytesIn.Load(),
+		MigrationPasses:   s.migrationPasses.Load(),
+		MigrationLastUS:   s.migrationLastUS.Load(),
+
+		Latency: s.latency.Snapshot(),
 	}
 }
 
@@ -296,6 +339,21 @@ type ServerSnapshot struct {
 	CheckpointSaves    int64 `json:"checkpoint_saves"`
 	CheckpointRestores int64 `json:"checkpoint_restores"`
 	CheckpointBytes    int64 `json:"checkpoint_bytes"`
+	// Cluster counters. Redirected counts sessions answered with a
+	// redirect to their ring owner; MigratedOut/In count warm session
+	// states shipped to / installed from peer nodes, MigratedResumes the
+	// resumes served from migrated (rather than locally parked) state.
+	// MigrationBytesOut/In total the migration payload bytes moved,
+	// MigrationPasses the outbound drain/rebalance passes, and
+	// MigrationLastUS the duration of the most recent pass.
+	Redirected        int64 `json:"redirected_sessions"`
+	MigratedOut       int64 `json:"migrated_out_sessions"`
+	MigratedIn        int64 `json:"migrated_in_sessions"`
+	MigratedResumes   int64 `json:"migrated_resumes"`
+	MigrationBytesOut int64 `json:"migration_bytes_out"`
+	MigrationBytesIn  int64 `json:"migration_bytes_in"`
+	MigrationPasses   int64 `json:"migration_passes"`
+	MigrationLastUS   int64 `json:"migration_last_us"`
 	// Latency is the server-side per-sample serving latency histogram
 	// (decode through response flush), the source of the ops plane's
 	// prognos_request_latency_seconds series.

@@ -3,6 +3,7 @@ package obs_test
 import (
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -51,6 +52,73 @@ test_latency_seconds_count 2
 	}
 }
 
+// TestExpositionLabeledGolden pins the labeled exposition: registry-wide
+// const labels land on every sample (including each histogram bucket,
+// before le), per-series labels merge in sorted key order, and the
+// build_info identity gauge renders the version pair over a constant 1.
+func TestExpositionLabeledGolden(t *testing.T) {
+	var h metrics.Histogram
+	h.Observe(1000 * time.Nanosecond)
+
+	r := obs.NewRegistry()
+	r.SetConstLabels(map[string]string{"node": "127.0.0.1:9000"})
+	r.Counter("requests_total", "Requests served.", func() float64 { return 42 })
+	r.Histogram("test_latency_seconds", "Request latency.", h.Snapshot)
+	obs.RegisterBuildInfoValues(r, "go1.24", "abc123def456")
+
+	const want = `# HELP prognos_build_info Build identity of this binary: constant 1 with the version labels.
+# TYPE prognos_build_info gauge
+prognos_build_info{go_version="go1.24",node="127.0.0.1:9000",revision="abc123def456"} 1
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{node="127.0.0.1:9000"} 42
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{node="127.0.0.1:9000",le="1.023e-06"} 1
+test_latency_seconds_bucket{node="127.0.0.1:9000",le="+Inf"} 1
+test_latency_seconds_sum{node="127.0.0.1:9000"} 1e-06
+test_latency_seconds_count{node="127.0.0.1:9000"} 1
+`
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("labeled exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Clearing the const labels restores bare per-series output.
+	r.SetConstLabels(nil)
+	b.Reset()
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); !strings.Contains(got, "\nrequests_total 42\n") {
+		t.Errorf("clearing const labels did not restore bare samples:\n%s", got)
+	}
+	if !strings.Contains(b.String(), `prognos_build_info{go_version="go1.24",revision="abc123def456"} 1`) {
+		t.Errorf("per-series labels lost after clearing const labels:\n%s", b.String())
+	}
+}
+
+// TestRegisterBuildInfo exercises the debug.ReadBuildInfo path: under go
+// test the revision is unknown, but the go_version label must match the
+// running toolchain and the value must be 1.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := obs.NewRegistry()
+	obs.RegisterBuildInfo(r)
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `go_version="`+runtime.Version()+`"`) {
+		t.Errorf("build_info missing toolchain version %s:\n%s", runtime.Version(), b.String())
+	}
+	if !strings.Contains(b.String(), "prognos_build_info{") {
+		t.Errorf("build_info series missing:\n%s", b.String())
+	}
+}
+
 // TestServerMetricsRoundTrip renders the full prognosd metric family over
 // a canned snapshot and checks the parsed values land on the snapshot's
 // fields — the same path the fleet's end-of-run cross-check takes.
@@ -73,6 +141,14 @@ func TestServerMetricsRoundTrip(t *testing.T) {
 		CheckpointSaves:    2,
 		CheckpointRestores: 1,
 		CheckpointBytes:    2048,
+		Redirected:         6,
+		MigratedOut:        3,
+		MigratedIn:         2,
+		MigratedResumes:    2,
+		MigrationBytesOut:  4096,
+		MigrationBytesIn:   1024,
+		MigrationPasses:    1,
+		MigrationLastUS:    1_500_000,
 	}
 	r := obs.NewRegistry()
 	obs.RegisterServerMetrics(r, func() metrics.ServerSnapshot { return snap })
@@ -103,6 +179,14 @@ func TestServerMetricsRoundTrip(t *testing.T) {
 		"prognos_checkpoint_saves_total":                    2,
 		"prognos_checkpoint_restores_total":                 1,
 		"prognos_checkpoint_bytes":                          2048,
+		"prognos_redirected_sessions_total":                 6,
+		"prognos_migrated_out_sessions_total":               3,
+		"prognos_migrated_in_sessions_total":                2,
+		"prognos_migrated_resumes_total":                    2,
+		"prognos_migration_bytes_out_total":                 4096,
+		"prognos_migration_bytes_in_total":                  1024,
+		"prognos_migration_passes_total":                    1,
+		"prognos_migration_last_seconds":                    1.5,
 		"prognos_request_latency_seconds_count":             0,
 		`prognos_request_latency_seconds_bucket{le="+Inf"}`: 0,
 	} {

@@ -20,6 +20,8 @@ package obs
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +45,9 @@ type metric struct {
 	name string
 	help string
 	kind metricKind
+	// labels are per-series constant labels (e.g. build_info's version
+	// pair), rendered merged with the registry's own constant labels.
+	labels map[string]string
 	// value collects a counter or gauge; hist collects a histogram.
 	value func() float64
 	hist  func() metrics.LatencySnapshot
@@ -57,11 +62,34 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+	// constLabels are stamped on every rendered sample — the cluster ops
+	// plane sets {node="host:port"} so one scraper can tell N prognosd
+	// instances apart. Empty means bare sample lines, byte-identical to
+	// the pre-cluster exposition.
+	constLabels map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// SetConstLabels sets labels rendered on every sample the registry emits
+// (merged with any per-series labels; per-series wins on collision).
+// prognosd uses this to stamp its cluster node identity on the /metrics
+// exposition. Call before serving scrapes; an empty or nil map restores
+// bare output.
+func (r *Registry) SetConstLabels(labels map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(labels) == 0 {
+		r.constLabels = nil
+		return
+	}
+	r.constLabels = make(map[string]string, len(labels))
+	for k, v := range labels {
+		r.constLabels[k] = v
+	}
 }
 
 // register stores one series, replacing any previous registration of the
@@ -81,6 +109,17 @@ func (r *Registry) Counter(name, help string, fn func() float64) {
 // Gauge registers a series that can go up and down.
 func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindGauge, value: fn})
+}
+
+// LabeledGauge registers a gauge carrying per-series constant labels —
+// the identity-series idiom (build_info and friends), where the labels
+// are the payload and the value is a constant 1.
+func (r *Registry) LabeledGauge(name, help string, labels map[string]string, fn func() float64) {
+	ls := make(map[string]string, len(labels))
+	for k, v := range labels {
+		ls[k] = v
+	}
+	r.register(&metric{name: name, help: help, kind: kindGauge, labels: ls, value: fn})
 }
 
 // Histogram registers a latency distribution. fn returns a
@@ -105,6 +144,7 @@ func (r *Registry) Render(w io.Writer) error {
 	for _, name := range names {
 		ms = append(ms, r.metrics[name])
 	}
+	constLabels := r.constLabels
 	r.mu.Unlock()
 
 	// Collect outside the registry lock: collect closures may themselves
@@ -112,31 +152,78 @@ func (r *Registry) Render(w io.Writer) error {
 	// ours.
 	var b strings.Builder
 	for _, m := range ms {
+		labels := mergeLabels(constLabels, m.labels)
 		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
 		if m.kind == kindHistogram {
-			renderHistogram(&b, m.name, m.hist())
+			renderHistogram(&b, m.name, labels, m.hist())
 			continue
 		}
-		fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.value()))
+		fmt.Fprintf(&b, "%s%s %s\n", m.name, renderLabels(labels, ""), formatValue(m.value()))
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// mergeLabels overlays per-series labels on the registry constants
+// (per-series wins). Both nil yields nil, keeping bare output bare.
+func mergeLabels(base, over map[string]string) map[string]string {
+	if len(base) == 0 {
+		return over
+	}
+	out := make(map[string]string, len(base)+len(over))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range over {
+		out[k] = v
+	}
+	return out
+}
+
+// renderLabels formats a label set as `{k="v",...}` with keys sorted, or
+// "" when there is nothing to render. le, when non-empty, is appended last
+// — the histogram bucket convention.
+func renderLabels(labels map[string]string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // renderHistogram emits the cumulative `le` bucket series plus _sum and
 // _count. The log-linear snapshot stores per-bucket counts with
 // microsecond upper bounds; the exposition uses cumulative counts with
 // second-valued bounds, which is what PromQL's histogram_quantile expects.
-func renderHistogram(b *strings.Builder, name string, snap metrics.LatencySnapshot) {
+func renderHistogram(b *strings.Builder, name string, labels map[string]string, snap metrics.LatencySnapshot) {
 	var cum int64
 	for _, bk := range snap.Buckets {
 		cum += bk.Count
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatValue(bk.UpperUS/1e6), cum)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(labels, formatValue(bk.UpperUS/1e6)), cum)
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
-	fmt.Fprintf(b, "%s_sum %s\n", name, formatValue(snap.SumUS/1e6))
-	fmt.Fprintf(b, "%s_count %d\n", name, snap.Count)
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(labels, "+Inf"), snap.Count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(labels, ""), formatValue(snap.SumUS/1e6))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(labels, ""), snap.Count)
 }
 
 // formatValue renders a sample value the way Prometheus clients do:
@@ -199,7 +286,52 @@ func RegisterServerMetrics(r *Registry, snap func() metrics.ServerSnapshot) {
 		func(s metrics.ServerSnapshot) int64 { return s.CheckpointRestores })
 	gauge("prognos_checkpoint_bytes", "Bytes published by the most recent checkpoint pass.",
 		func(s metrics.ServerSnapshot) int64 { return s.CheckpointBytes })
+	counter("prognos_redirected_sessions_total", "Sessions answered with a redirect to their cluster ring owner.",
+		func(s metrics.ServerSnapshot) int64 { return s.Redirected })
+	counter("prognos_migrated_out_sessions_total", "Warm session states shipped to peer cluster nodes.",
+		func(s metrics.ServerSnapshot) int64 { return s.MigratedOut })
+	counter("prognos_migrated_in_sessions_total", "Warm session states installed from peer cluster nodes.",
+		func(s metrics.ServerSnapshot) int64 { return s.MigratedIn })
+	counter("prognos_migrated_resumes_total", "Resumes served from state that arrived by cluster migration.",
+		func(s metrics.ServerSnapshot) int64 { return s.MigratedResumes })
+	counter("prognos_migration_bytes_out_total", "Migration payload bytes shipped to peer nodes.",
+		func(s metrics.ServerSnapshot) int64 { return s.MigrationBytesOut })
+	counter("prognos_migration_bytes_in_total", "Migration payload bytes received from peer nodes.",
+		func(s metrics.ServerSnapshot) int64 { return s.MigrationBytesIn })
+	counter("prognos_migration_passes_total", "Outbound cluster drain/rebalance passes completed.",
+		func(s metrics.ServerSnapshot) int64 { return s.MigrationPasses })
+	r.Gauge("prognos_migration_last_seconds", "Duration of the most recent outbound migration pass.",
+		func() float64 { return float64(snap().MigrationLastUS) / 1e6 })
 	r.Histogram("prognos_request_latency_seconds",
 		"Server-side per-sample serving latency (OnSample through response flush).",
 		func() metrics.LatencySnapshot { return snap().Latency })
+}
+
+// RegisterBuildInfo registers prognos_build_info, the identity gauge that
+// carries the binary's Go toolchain version and VCS revision as labels
+// over a constant 1 — the Prometheus convention for joining build
+// metadata onto any other series.
+func RegisterBuildInfo(r *Registry) {
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	RegisterBuildInfoValues(r, runtime.Version(), revision)
+}
+
+// RegisterBuildInfoValues is RegisterBuildInfo with the label values
+// injected — the golden-testable core (build metadata is not available
+// under `go test`).
+func RegisterBuildInfoValues(r *Registry, goVersion, revision string) {
+	r.LabeledGauge("prognos_build_info",
+		"Build identity of this binary: constant 1 with the version labels.",
+		map[string]string{"go_version": goVersion, "revision": revision},
+		func() float64 { return 1 })
 }

@@ -27,6 +27,11 @@ const (
 	EvHOTrigger = "ho_trigger"
 	// EvCheckpoint is one checkpoint persistence pass.
 	EvCheckpoint = "checkpoint_persist"
+	// EvMigrateOut is one warm-state shipment to a peer cluster node (a
+	// drain or rebalance pass); EvMigrateIn is one session state
+	// installed from a peer's shipment.
+	EvMigrateOut = "migrate_out"
+	EvMigrateIn  = "migrate_in"
 )
 
 // Event is one structured trace record. Seq and WallNS are assigned by

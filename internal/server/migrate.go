@@ -1,0 +1,252 @@
+// Cluster warm migration, server side. A draining node collects every
+// parked session and warm context snapshot, groups them by the ring
+// successor that will own each token once the node is gone, and ships them
+// over migration streams (docs/PROTOCOL.md §Migration frames). The
+// receiving side installs shipped sessions straight into its parked table
+// — replay buffer and resume cursor intact — so the UE's next reconnect
+// resumes warm with exact replay, exactly as if the session had parked
+// there all along.
+
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/ran"
+	"repro/internal/wire"
+)
+
+// serveMigration runs the receiving side of one migration stream: binary
+// framing only, FrameMigrate in, FrameMigrateAck out, one ack per state in
+// order. Migration streams hold no MaxSessions slot and touch no session
+// counters — they are cluster control plane, not serving load.
+func (s *Server) serveMigration(hello *Hello, br *bufio.Reader, w *bufio.Writer, framing wire.Framing) (codec, error) {
+	if framing != wire.FramingBinary {
+		return nil, errors.New("server: migration streams require the binary framing")
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.FramingAck{
+		FramingAck:  true,
+		Framing:     wire.FramingBinary,
+		WireVersion: wire.ProtocolVersion,
+	}); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	cdc := newBinaryCodec(br, w)
+	fr, fw := cdc.fr, cdc.fw
+	var seq int64
+	for {
+		typ, p, err := fr.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return cdc, w.Flush()
+			}
+			return cdc, err
+		}
+		if typ != wire.FrameMigrate {
+			return cdc, fmt.Errorf("server: unexpected frame type 0x%02x in migration stream", typ)
+		}
+		seq++
+		s.stats.MigrationReceived(int64(len(p)))
+		var st cluster.SessionState
+		ok := json.Unmarshal(p, &st) == nil && s.installMigrated(st, hello.Node) == nil
+		if err := fw.WriteMigrateAck(wire.MigrateAck{OK: ok, Seq: seq}); err != nil {
+			return cdc, err
+		}
+		// Coalesce ack flushes exactly like the serving path: hold them
+		// while more shipped frames are already buffered.
+		if fr.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return cdc, err
+			}
+		}
+	}
+}
+
+// installMigrated folds one shipped state into this node. Context states
+// (no token) merge into the warm store; session states are re-parked with
+// a fresh grace window, rebuilt around a restored Prognos instance.
+func (s *Server) installMigrated(st cluster.SessionState, origin string) error {
+	if st.Version > cluster.SessionStateVersion {
+		return fmt.Errorf("server: migrated state version %d is newer than %d", st.Version, cluster.SessionStateVersion)
+	}
+	if st.Carrier == "" {
+		return errors.New("server: migrated state without carrier")
+	}
+	if st.Token == "" {
+		// Context-level warm snapshot: the empty-token slot, like a
+		// restored checkpoint; any later live push outranks it.
+		s.warm.push(warmKey{carrier: st.Carrier, arch: st.Arch.String()}, "", st.Snapshot)
+		return nil
+	}
+	if s.opts.ResumeGrace <= 0 {
+		// Without a resume grace window this node cannot hold parked
+		// state; nacking lets the shipper account the session as rejected
+		// instead of silently downgrading it to a cold resume.
+		return errors.New("server: resume disabled, cannot hold migrated session")
+	}
+	prog, err := core.New(core.Config{
+		EventConfigs: ran.EventConfigsFor(st.Carrier, st.Arch),
+		Arch:         st.Arch,
+	})
+	if err != nil {
+		return err
+	}
+	prog.Restore(st.Snapshot)
+	buf := newReplayBuffer(replayBufCap)
+	for _, r := range st.Responses {
+		buf.push(r)
+	}
+	s.park(&parkedSession{
+		token:    st.Token,
+		prog:     prog,
+		seq:      st.Seq,
+		buf:      buf,
+		carrier:  st.Carrier,
+		arch:     st.Arch,
+		migrated: true,
+	})
+	s.stats.SessionMigratedIn()
+	s.opts.Tracer.Emit(obs.Event{
+		Kind:    obs.EvMigrateIn,
+		Session: st.Token,
+		Carrier: st.Carrier,
+		Arch:    st.Arch.String(),
+		RespSeq: st.Seq,
+		Detail:  "from " + origin,
+	})
+	return nil
+}
+
+// DrainStats accounts one DrainToCluster pass.
+type DrainStats struct {
+	// Forced counts in-flight sessions force-closed into the parked table;
+	// Sessions and Contexts the states the peers accepted, Rejected the
+	// states they nacked.
+	Forced   int
+	Sessions int
+	Contexts int
+	Rejected int
+	// Targets is the number of peer nodes shipped to, Bytes the total
+	// migration payload shipped, Elapsed the whole pass's wall time.
+	Targets int
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// DrainToCluster drains this node into its cluster: it stops accepting,
+// cuts in-flight sessions so they park (resumable sessions park on
+// transport fault — the same zero-loss path a crash exercises, except
+// deliberate), then ships every parked session to the ring successor that
+// owns its token once this node is gone, and every warm context snapshot
+// to every peer. Shipping is best-effort per target: states a peer could
+// not take were still merged into this node's warm store and checkpoint
+// (if configured), so the worst case is a cold resume, never a lost
+// sample. The per-target timeout bounds each migration stream.
+func (s *Server) DrainToCluster(timeout time.Duration) (DrainStats, error) {
+	start := time.Now()
+	var ds DrainStats
+	if s.opts.Cluster == nil {
+		return ds, errors.New("server: DrainToCluster on a server without a cluster ring")
+	}
+	rest, err := s.opts.Cluster.Without(s.opts.NodeAddr)
+	if err != nil {
+		return ds, fmt.Errorf("server: no drain successors: %w", err)
+	}
+
+	// Stop accepting and cut the in-flight sessions. Each resumable
+	// session's serve goroutine parks its warm state on the way out, so
+	// after wg.Wait the parked table holds everything worth shipping.
+	s.stopAccept()
+	s.mu.Lock()
+	ds.Forced = len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	parked := s.parked.drainAll()
+	for range parked {
+		s.stats.SessionUnparked()
+	}
+	byTarget := make(map[string][]cluster.SessionState)
+	for _, p := range parked {
+		var resp []Response
+		if p.buf != nil {
+			resp = append(resp, p.buf.resp...)
+		}
+		target := rest.Owner(p.token)
+		byTarget[target] = append(byTarget[target], cluster.SessionState{
+			Token:     p.token,
+			Carrier:   p.carrier,
+			Arch:      p.arch,
+			Seq:       p.seq,
+			Responses: resp,
+			Snapshot:  p.prog.Snapshot(),
+		})
+	}
+	// Every peer gets every warm context snapshot: tokens without parked
+	// state re-land anywhere on the remaining ring, and wherever they do,
+	// the learned patterns should be waiting.
+	var contexts []cluster.SessionState
+	for k, snap := range s.warm.all() {
+		arch, err := cellular.ParseArch(k.arch)
+		if err != nil {
+			continue
+		}
+		contexts = append(contexts, cluster.SessionState{
+			Carrier:  k.carrier,
+			Arch:     arch,
+			Snapshot: snap,
+		})
+	}
+
+	var firstErr error
+	for _, target := range rest.Members() {
+		states := append(byTarget[target], contexts...)
+		if len(states) == 0 {
+			continue
+		}
+		st, err := cluster.Ship(target, s.opts.NodeAddr, states, timeout)
+		ds.Bytes += st.Bytes
+		ds.Sessions += st.Sessions
+		ds.Contexts += st.Contexts
+		ds.Rejected += st.Rejected
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ds.Targets++
+		for i := 0; i < st.Sessions; i++ {
+			s.stats.SessionMigratedOut()
+		}
+	}
+	ds.Elapsed = time.Since(start)
+	s.stats.MigrationShipped(ds.Bytes, ds.Elapsed)
+	s.opts.Tracer.Emit(obs.Event{
+		Kind:  obs.EvMigrateOut,
+		Bytes: ds.Bytes,
+		Detail: fmt.Sprintf("%d sessions, %d contexts to %d targets in %v",
+			ds.Sessions, ds.Contexts, ds.Targets, ds.Elapsed.Round(time.Millisecond)),
+	})
+	if s.opts.CheckpointDir != "" {
+		// The checkpoint is the fallback for anything a peer nacked.
+		s.CheckpointNow()
+	}
+	return ds, firstErr
+}

@@ -51,6 +51,12 @@ type ResilientOptions struct {
 	Retry RetryPolicy
 	// Seed drives the backoff jitter (deterministic per client).
 	Seed int64
+	// Fallbacks are alternative server addresses tried when the primary
+	// stops answering — for cluster clients, the token's ring candidates
+	// after the owner, in preference order. A transport fault rotates to
+	// the next address; a redirect error jumps straight to the named
+	// owner. The client sticks with whatever address last worked.
+	Fallbacks []string
 }
 
 // ResilientStats counts a resilient client's recovery activity.
@@ -61,6 +67,9 @@ type ResilientStats struct {
 	Reconnects  int64
 	Resumed     int64
 	ColdResumes int64
+	// Redirects counts server redirects followed to the node owning the
+	// session's token (cluster routing, not faults).
+	Redirects int64
 	// Sent counts samples handed to SendSampleAsync, Received the
 	// prediction responses returned by ReadResponse. After a finished
 	// stream the two are equal unless samples were genuinely lost.
@@ -83,18 +92,22 @@ var errClientClosed = errors.New("server: resilient client closed")
 // serialized under an internal mutex so an inline reconnect can never
 // interleave with another send.
 type ResilientClient struct {
-	addr string
 	opts ResilientOptions
 
-	mu        sync.Mutex
-	c         *Client
-	gen       int // bumped per adopted conn; dedupes concurrent recovery
-	pending   []trace.Sample
-	lastSeq   int64
-	finishing bool
-	closed    bool
-	rng       *rand.Rand
-	st        ResilientStats
+	mu sync.Mutex
+	// candidates is the address rotation: the primary, the configured
+	// fallbacks, then any redirect targets learned along the way. cur
+	// indexes the address currently (or most recently) attached.
+	candidates []string
+	cur        int
+	c          *Client
+	gen        int // bumped per adopted conn; dedupes concurrent recovery
+	pending    []trace.Sample
+	lastSeq    int64
+	finishing  bool
+	closed     bool
+	rng        *rand.Rand
+	st         ResilientStats
 }
 
 // DialResilient connects to a Prognos server with recovery enabled. The
@@ -105,10 +118,14 @@ func DialResilient(addr string, opts ResilientOptions) (*ResilientClient, error)
 	}
 	opts.Retry = opts.Retry.withDefaults()
 	rc := &ResilientClient{
-		addr: addr,
 		opts: opts,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
+	rc.candidates = append(rc.candidates, addr)
+	for _, a := range opts.Fallbacks {
+		rc.follow(a)
+	}
+	rc.cur = 0
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if err := rc.connectLocked(false); err != nil {
@@ -117,13 +134,52 @@ func DialResilient(addr string, opts ResilientOptions) (*ResilientClient, error)
 	return rc, nil
 }
 
+// follow moves the candidate cursor to target, learning it if new.
+func (rc *ResilientClient) follow(target string) {
+	for i, a := range rc.candidates {
+		if a == target {
+			rc.cur = i
+			return
+		}
+	}
+	rc.candidates = append(rc.candidates, target)
+	rc.cur = len(rc.candidates) - 1
+}
+
+// maxRedirectsPerRecovery bounds redirect-following within one recovery so
+// two nodes disagreeing about ownership can never trap a client in a loop.
+// Each declined cold offer (warm probe, below) may legitimately bounce the
+// client off one more non-owner, so the effective bound grows with the
+// probe count; it stays finite because the probes themselves are bounded.
+const maxRedirectsPerRecovery = 4
+
+// maxWarmProbePasses is how many full passes over the candidate list a
+// recovery may spend declining cold acks before accepting one as genuine.
+const maxWarmProbePasses = 2
+
 // connectLocked (re)establishes the session under rc.mu: dial, hello with
 // the resume cursor, ack, then replay-side repair — resending every pending
 // sample the server has not answered and re-half-closing when the stream
 // was already finishing. reconnect selects whether recovery counters move.
+// Transport faults rotate to the next candidate address with backoff;
+// redirect errors jump straight to the named owner without consuming an
+// attempt (the redirecting node answered — the cluster is healthy, the
+// client was just knocking on the wrong door).
 func (rc *ResilientClient) connectLocked(reconnect bool) error {
 	var lastErr error
 	delay := rc.opts.Retry.BaseDelay
+	redirects := 0
+	probes := 0
+	if reconnect && len(rc.candidates) > 1 {
+		// A mid-stream cut in cluster mode usually means the node drained
+		// or crashed — either way its parked state ships to the next ring
+		// candidate, while the node itself may come straight back with an
+		// empty parked table (a rolling restart rebinds in milliseconds).
+		// Start recovery one candidate over: if the state actually stayed
+		// put, that node redirects us straight home, so the resume is warm
+		// either way and no spurious cold session is opened on the owner.
+		rc.cur = (rc.cur + 1) % len(rc.candidates)
+	}
 	for attempt := 0; attempt < rc.opts.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			jittered := delay/2 + time.Duration(rc.rng.Int63n(int64(delay/2)+1))
@@ -134,25 +190,50 @@ func (rc *ResilientClient) connectLocked(reconnect bool) error {
 		}
 		hello := rc.opts.Hello
 		hello.LastSeq = rc.lastSeq
-		c, err := DialWith(rc.addr, hello, rc.opts.Dial)
-		if err != nil {
-			var se *ServerError
-			if errors.As(err, &se) {
-				// A structured rejection during framing negotiation is a
-				// protocol verdict, like one from readAck below.
-				return err
+		c, err := DialWith(rc.candidates[rc.cur], hello, rc.opts.Dial)
+		var ack ResumeAck
+		if err == nil {
+			ack, err = c.readAck()
+			if err != nil {
+				c.Close()
 			}
-			lastErr = err
-			continue
 		}
-		ack, err := c.readAck()
 		if err != nil {
-			c.Close()
 			var se *ServerError
 			if errors.As(err, &se) {
+				if se.Redirect != "" && redirects < maxRedirectsPerRecovery+probes {
+					redirects++
+					rc.st.Redirects++
+					rc.follow(se.Redirect)
+					attempt-- // routing, not a fault: no attempt, no backoff
+					continue
+				}
 				return err // protocol verdict: retrying earns the same answer
 			}
 			lastErr = err
+			rc.cur = (rc.cur + 1) % len(rc.candidates)
+			continue
+		}
+		if reconnect && !ack.Resumed && rc.lastSeq > 0 &&
+			len(rc.candidates) > 1 && probes < maxWarmProbePasses*len(rc.candidates) {
+			// A cold ack right after a mid-stream cut in cluster mode is
+			// usually the race, not the truth: the drained node's warm state
+			// is still in flight to its ring successor while this client has
+			// already dialled on. Declining is free — the server parks only
+			// on transport faults, so a clean close ends the fresh session
+			// without leaving a stub — so close, give the migration one
+			// backoff step to land, and knock on the next door. Only after
+			// maxWarmProbePasses full passes over the candidates is a cold
+			// answer accepted as genuine (grace expired, state lost).
+			probes++
+			c.Close()
+			rc.cur = (rc.cur + 1) % len(rc.candidates)
+			jittered := delay/2 + time.Duration(rc.rng.Int63n(int64(delay/2)+1))
+			time.Sleep(jittered)
+			if delay *= 2; delay > rc.opts.Retry.MaxDelay {
+				delay = rc.opts.Retry.MaxDelay
+			}
+			attempt-- // probing, not a fault: the node answered
 			continue
 		}
 		resend := rc.pending
@@ -362,4 +443,13 @@ func (rc *ResilientClient) Stats() ResilientStats {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return rc.st
+}
+
+// Addr returns the server address the client is currently attached to. It
+// moves with redirects and fallback rotation, so after a cluster drain it
+// names the node actually serving the session.
+func (rc *ResilientClient) Addr() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.candidates[rc.cur]
 }

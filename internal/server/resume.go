@@ -77,6 +77,10 @@ type parkedSession struct {
 	carrier string
 	arch    cellular.Arch
 	expires time.Time
+	// migrated marks state installed by a cluster migration rather than
+	// parked by a local session; its first resume counts as a migrated
+	// (warm-handoff) resume.
+	migrated bool
 }
 
 // park stores a session's warm state for ResumeGrace, evicting the entry

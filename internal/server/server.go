@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -99,6 +100,17 @@ type Options struct {
 	// passes) for the ops plane's /events endpoint. Nil disables tracing
 	// at zero cost — obs.Tracer methods are nil-safe.
 	Tracer *obs.Tracer
+	// Cluster and NodeAddr make the server cluster-aware: NodeAddr is this
+	// node's identity in the Cluster ring (its serving address as the
+	// member list spells it), and a tokened session whose ring owner is
+	// another node is answered with a redirect to that owner instead of
+	// being served — unless this node holds parked state for the token
+	// (the sticky-session rule, ARCHITECTURE.md §Cluster), in which case
+	// it serves the resume regardless of the ring so migrated sessions
+	// never bounce. Nil Cluster disables all ownership checks. Migration
+	// streams (Hello.Migrate) are accepted whether or not Cluster is set.
+	Cluster  *cluster.Ring
+	NodeAddr string
 }
 
 // withDefaults fills the backoff bounds and the resilience defaults.
@@ -152,9 +164,17 @@ func ListenWith(addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
+	return Serve(ln, opts), nil
+}
+
+// Serve wires a Server around an existing listener and starts accepting on
+// it. Cluster rigs use this to pre-bind every node's listener first — so
+// the full member list (real ports included) exists before any node starts
+// — and only then bring the servers up around them.
+func Serve(ln net.Listener, opts Options) *Server {
 	s := newServer(ln, opts)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // newServer wires a Server around an existing listener without starting
@@ -364,6 +384,17 @@ var errOverLimit = errors.New("retry later")
 // already dead so no ErrorLine is attempted.
 var errInterrupted = errors.New("session interrupted")
 
+// redirectError tells a session its token lives on another cluster node.
+// serve writes it as a JSONL ErrorLine with the redirect field set —
+// always JSONL, because redirects are issued at hello time, before any
+// framing ack (docs/PROTOCOL.md §Redirects) — and accounts it as a
+// redirect, not a session error.
+type redirectError struct{ owner string }
+
+func (e *redirectError) Error() string {
+	return fmt.Sprintf("server: session token is owned by cluster node %s", e.owner)
+}
+
 // protocolError wraps a record decode failure: the client's fault, to be
 // reported back as a structured error, as opposed to a transport fault
 // (which parks resumable sessions instead).
@@ -491,6 +522,18 @@ func (s *Server) serve(conn net.Conn) {
 			s.stats.SessionInterrupted()
 			return
 		}
+		var re *redirectError
+		if errors.As(err, &re) {
+			// Redirect: not a session error. The error line carries the
+			// owning node so the client re-dials there instead of retrying.
+			s.stats.SessionRedirected()
+			enc := json.NewEncoder(w)
+			if enc.Encode(ErrorLine{Error: err.Error(), Redirect: re.owner}) == nil && w.Flush() == nil {
+				conn.SetReadDeadline(time.Now().Add(time.Second))
+				io.Copy(io.Discard, conn)
+			}
+			return
+		}
 		if !errors.Is(err, errOverLimit) {
 			s.stats.SessionError()
 		}
@@ -537,6 +580,22 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 		// Unsupported framing is rejected before any ack, so the error
 		// reaches the client in the framing it can already parse.
 		return nil, fmt.Errorf("server: %w", err)
+	}
+	if hello.Migrate {
+		// Node-to-node migration stream: no MaxSessions slot, no session
+		// counters — it is control plane, not serving load.
+		return s.serveMigration(&hello, br, w, framing)
+	}
+	if s.opts.Cluster != nil && hello.SessionToken != "" {
+		// Ownership check, before the slot claim so redirects cost
+		// nothing. The parked-state exception is the sticky-session rule:
+		// state migrated here (or parked here) outranks the ring, so a
+		// drained-and-restarted origin node never bounces a session back
+		// and forth.
+		owner := s.opts.Cluster.Owner(hello.SessionToken)
+		if owner != s.opts.NodeAddr && !s.parked.has(hello.SessionToken, time.Now()) {
+			return nil, &redirectError{owner: owner}
+		}
 	}
 	if !s.acquireSlot() {
 		s.stats.SessionRejected()
@@ -586,6 +645,9 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 				prog, seq, buf, replay = p.prog, p.seq, p.buf, rs
 				resumed = true
 				s.stats.SessionResumed()
+				if p.migrated {
+					s.stats.MigratedResume()
+				}
 				s.opts.Tracer.Emit(obs.Event{
 					Kind:    obs.EvSessionResume,
 					Session: hello.SessionToken,
@@ -621,6 +683,12 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 		}
 	}
 	park := func() error {
+		if seq == 0 {
+			// Nothing served, nothing to resume: an empty park would only
+			// shadow (and, via insert-replace, destroy) real state for the
+			// token — migrated state landing during a client's warm probe.
+			return errInterrupted
+		}
 		s.park(&parkedSession{
 			token:   hello.SessionToken,
 			prog:    prog,
@@ -761,7 +829,12 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 	// A chaos proxy tearing a path down can surface as EOF rather than an
 	// error, so resumable sessions park here too — a genuinely finished
 	// client simply never resumes and the entry ages out of the table at
-	// the end of the grace window.
+	// the end of the grace window. Sessions that served nothing (seq 0)
+	// are the exception: they carry no state worth resuming, and parking
+	// them is actively harmful in cluster mode — insert replaces by token,
+	// so an empty park from a client that declined a cold offer (warm
+	// probing, see ResilientClient) would destroy the migrated state the
+	// probe was waiting for the moment it lands.
 	s.pushWarm(hello.Carrier, hello.Arch, hello.SessionToken, prog.Snapshot())
 	s.opts.Tracer.Emit(obs.Event{
 		Kind:    obs.EvSessionClose,
@@ -770,7 +843,7 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 		Arch:    hello.Arch.String(),
 		RespSeq: seq,
 	})
-	if resumable {
+	if resumable && seq > 0 {
 		s.park(&parkedSession{
 			token:   hello.SessionToken,
 			prog:    prog,
@@ -888,13 +961,14 @@ func (c *Client) readFramingAck() error {
 	}
 	var env struct {
 		wire.FramingAck
-		Err string `json:"error"`
+		Err      string `json:"error"`
+		Redirect string `json:"redirect"`
 	}
 	if err := json.Unmarshal(line, &env); err != nil {
 		return fmt.Errorf("server: bad framing ack: %w", err)
 	}
 	if env.Err != "" {
-		return &ServerError{Msg: env.Err}
+		return &ServerError{Msg: env.Err, Redirect: env.Redirect}
 	}
 	if !env.FramingAck.FramingAck || env.Framing != wire.FramingBinary {
 		return fmt.Errorf("server: expected framing ack, got %q", line)
@@ -969,9 +1043,12 @@ func (c *Client) SendSampleAsync(smp trace.Sample) error {
 // or a binary FrameError) before tearing the session down: a
 // protocol-level verdict (rejection, malformed input, engine failure), not
 // a transport fault. Resilient clients treat it as permanent — retrying
-// the same session would earn the same answer.
+// the same session would earn the same answer — with one exception: a
+// non-empty Redirect is routing, not a verdict. It names the cluster node
+// that owns the session's token; the client should re-dial there.
 type ServerError struct {
-	Msg string
+	Msg      string
+	Redirect string
 }
 
 func (e *ServerError) Error() string { return "server: session error: " + e.Msg }
@@ -1011,13 +1088,14 @@ func (c *Client) ReadResponse() (Response, error) {
 	}
 	var env struct {
 		Response
-		Err string `json:"error"`
+		Err      string `json:"error"`
+		Redirect string `json:"redirect"`
 	}
 	if err := json.Unmarshal(line, &env); err != nil {
 		return Response{}, fmt.Errorf("server: bad response: %w", err)
 	}
 	if env.Err != "" {
-		return Response{}, &ServerError{Msg: env.Err}
+		return Response{}, &ServerError{Msg: env.Err, Redirect: env.Redirect}
 	}
 	return env.Response, nil
 }
@@ -1050,13 +1128,14 @@ func (c *Client) readAck() (ResumeAck, error) {
 	}
 	var env struct {
 		ResumeAck
-		Err string `json:"error"`
+		Err      string `json:"error"`
+		Redirect string `json:"redirect"`
 	}
 	if err := json.Unmarshal(line, &env); err != nil {
 		return ResumeAck{}, fmt.Errorf("server: bad resume ack: %w", err)
 	}
 	if env.Err != "" {
-		return ResumeAck{}, &ServerError{Msg: env.Err}
+		return ResumeAck{}, &ServerError{Msg: env.Err, Redirect: env.Redirect}
 	}
 	if !env.ResumeAck.ResumeAck {
 		return ResumeAck{}, fmt.Errorf("server: expected resume ack, got %q", line)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // warmSlotsPerContext is the token-hash fan-out within one deployment
@@ -28,20 +29,10 @@ const (
 	parkedShards        = 16
 )
 
-// tokenHash is FNV-1a over the session token, the shard picker for both
-// warm slots and the parked table.
-func tokenHash(token string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(token); i++ {
-		h ^= uint64(token[i])
-		h *= prime64
-	}
-	return h
-}
+// tokenHash is the shared routing hash (wire.TokenHash): the shard picker
+// for warm slots and the parked table, and the same function the cluster
+// ring places tokens with.
+func tokenHash(token string) uint64 { return wire.TokenHash(token) }
 
 // warmStore holds the latest learned state per deployment context, sharded
 // per token hash within each context. Lock discipline: the store-level
@@ -223,6 +214,35 @@ func (t *parkedTable) evictSoonest(keep string) *parkedSession {
 	delete(sh.m, victim.token)
 	t.count.Add(-1)
 	return victim
+}
+
+// has reports whether a live (non-expired) park exists for token without
+// removing it. The cluster ownership check uses this to keep migrated
+// sessions sticky: a node serves a token it holds warm state for even when
+// the ring says another node owns it.
+func (t *parkedTable) has(token string, now time.Time) bool {
+	sh := t.shard(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.m[token]
+	return ok && !now.After(p.expires)
+}
+
+// drainAll removes and returns every parked session, expired or not — the
+// migration path ships them all; the target re-arms expiry on install.
+func (t *parkedTable) drainAll() []*parkedSession {
+	var out []*parkedSession
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for token, p := range sh.m {
+			delete(sh.m, token)
+			t.count.Add(-1)
+			out = append(out, p)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // remove unparks and returns the session for token, or nil.

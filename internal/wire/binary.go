@@ -32,6 +32,14 @@ const (
 	FrameReport byte = 0x02
 	// FrameHO carries one handover event (client→server).
 	FrameHO byte = 0x03
+	// FrameMigrate carries one warm session state between cluster nodes
+	// (shipping node→receiving node). Only valid on sessions whose hello
+	// set "migrate": true, so its absence never occurs mid-session and no
+	// version bump is needed (docs/PROTOCOL.md §Migration frames). The
+	// payload is the JSON encoding of a cluster session state; migration
+	// is a control-plane path, so it trades the fixed-width layout for an
+	// evolvable schema.
+	FrameMigrate byte = 0x04
 	// FrameResponse carries one per-sample prediction (server→client).
 	FrameResponse byte = 0x81
 	// FrameResumeAck carries the post-hello resume acknowledgement
@@ -40,16 +48,21 @@ const (
 	// FrameError carries a UTF-8 teardown error message (server→client),
 	// the binary twin of the JSONL ErrorLine.
 	FrameError byte = 0x83
+	// FrameMigrateAck acknowledges one FrameMigrate (receiving
+	// node→shipping node): uint8 ok | int64 seq, where seq is the 1-based
+	// ordinal of the migrate frame it answers.
+	FrameMigrateAck byte = 0x84
 )
 
 // Fixed payload lengths (bytes) of the fixed-width frame types.
 const (
-	sampleFrameLen    = 8 + 4*8 + 3 + 8 + 4*cellObsLen // 175
-	cellObsLen        = 4 + 2 + 3*8 + 1                // 31
-	reportFrameLen    = 8 + 2 + 2*4 + 2*8 + 3*8        // 58
-	responseFrameLen  = 8 + 1 + 2*8 + 2*8              // 41
-	resumeAckFrameLen = 1 + 8                          // 9
-	frameHeaderLen    = 4 + 1
+	sampleFrameLen     = 8 + 4*8 + 3 + 8 + 4*cellObsLen // 175
+	cellObsLen         = 4 + 2 + 3*8 + 1                // 31
+	reportFrameLen     = 8 + 2 + 2*4 + 2*8 + 3*8        // 58
+	responseFrameLen   = 8 + 1 + 2*8 + 2*8              // 41
+	resumeAckFrameLen  = 1 + 8                          // 9
+	migrateAckFrameLen = 1 + 8                          // 9
+	frameHeaderLen     = 4 + 1
 )
 
 // ErrFrameTooLarge reports a frame whose declared payload length exceeds
@@ -198,6 +211,26 @@ func (fw *FrameWriter) WriteResumeAck(a ResumeAck) error {
 func (fw *FrameWriter) WriteError(msg string) error {
 	b := fw.begin(FrameError)
 	b = append(b, msg...)
+	return fw.finish(b)
+}
+
+// WriteMigrate emits one JSON-encoded session state as a FrameMigrate
+// frame. The encoding is the caller's (internal/cluster owns the schema);
+// the wire layer only frames it.
+func (fw *FrameWriter) WriteMigrate(payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	b := fw.begin(FrameMigrate)
+	b = append(b, payload...)
+	return fw.finish(b)
+}
+
+// WriteMigrateAck emits the acknowledgement of one migrate frame.
+func (fw *FrameWriter) WriteMigrateAck(a MigrateAck) error {
+	b := fw.begin(FrameMigrateAck)
+	b = appendBool(b, a.OK)
+	b = appendI64(b, a.Seq)
 	return fw.finish(b)
 }
 
@@ -375,6 +408,16 @@ func DecodeResumeAck(p []byte, a *ResumeAck) error {
 	}
 	a.ResumeAck = true
 	a.Resumed = p[0] != 0
+	a.Seq = getI64(p[1:])
+	return nil
+}
+
+// DecodeMigrateAck decodes a FrameMigrateAck payload into a.
+func DecodeMigrateAck(p []byte, a *MigrateAck) error {
+	if err := fixedLen(p, migrateAckFrameLen, "migrate_ack"); err != nil {
+		return err
+	}
+	a.OK = p[0] != 0
 	a.Seq = getI64(p[1:])
 	return nil
 }

@@ -1,0 +1,39 @@
+package wire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestTokenHashMatchesFNV1a pins TokenHash to the standard library's
+// 64-bit FNV-1a. The warm store, the parked table, and the cluster ring
+// all route on this function; this test is the cross-package equivalence
+// guarantee that a token's shard on a node and its owner in the ring were
+// computed from the same hash.
+func TestTokenHashMatchesFNV1a(t *testing.T) {
+	tokens := []string{
+		"", "a", "fleet-1-ue-0", "fleet-1-ue-63",
+		"prognos-session-token-with-some-length-to-it",
+		"\x00\xff\x80 binary-ish bytes \x01",
+	}
+	for i := 0; i < 256; i++ {
+		tokens = append(tokens, fmt.Sprintf("fleet-%d-ue-%d", i*7919, i))
+	}
+	for _, tok := range tokens {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		if got, want := TokenHash(tok), h.Sum64(); got != want {
+			t.Fatalf("TokenHash(%q) = %#x, want FNV-1a %#x", tok, got, want)
+		}
+	}
+}
+
+// TestTokenHashZeroAlloc pins the routing hash as allocation-free: it runs
+// on every record-path shard pick and every ring placement.
+func TestTokenHashZeroAlloc(t *testing.T) {
+	tok := "fleet-42-ue-7"
+	if n := testing.AllocsPerRun(100, func() { _ = TokenHash(tok) }); n != 0 {
+		t.Fatalf("TokenHash allocates %.1f per call, want 0", n)
+	}
+}

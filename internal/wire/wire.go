@@ -96,6 +96,13 @@ type Hello struct {
 	// cannot satisfy it send an ErrorLine instead (see
 	// docs/PROTOCOL.md §Negotiation).
 	Framing string `json:"framing,omitempty"`
+	// Migrate, when true, turns the session into a node-to-node warm-state
+	// migration stream (docs/PROTOCOL.md §Migration frames): the peer is
+	// another prognosd shipping parked-session state and warm snapshots,
+	// not a UE. Migration streams require the binary framing and exchange
+	// FrameMigrate/FrameMigrateAck frames. Node names the shipping node.
+	Migrate bool   `json:"migrate,omitempty"`
+	Node    string `json:"node,omitempty"`
 }
 
 // FramingAck is the JSONL line a server sends in answer to a hello that
@@ -164,4 +171,19 @@ type ResumeAck struct {
 // read it.
 type ErrorLine struct {
 	Error string `json:"error"`
+	// Redirect, when set, names the cluster node that owns the session's
+	// token (host:port): the client should re-dial there rather than
+	// retry here. Redirects are issued at hello time, before any framing
+	// ack, so they always travel as a JSONL line (docs/PROTOCOL.md
+	// §Redirects).
+	Redirect string `json:"redirect,omitempty"`
+}
+
+// MigrateAck is the per-record acknowledgement of a migration stream: the
+// receiving node confirms (or rejects) one shipped session state. Seq is
+// the 1-based ordinal of the FrameMigrate it answers, so a shipping node
+// can pipeline frames and still attribute every verdict.
+type MigrateAck struct {
+	OK  bool  `json:"ok"`
+	Seq int64 `json:"seq"`
 }

@@ -158,6 +158,38 @@ func TestBinaryRoundTrips(t *testing.T) {
 			t.Fatalf("payload %q", p)
 		}
 	})
+	t.Run("migrate", func(t *testing.T) {
+		state := []byte(`{"token":"ue-7","seq":42,"snapshot":{"version":1}}`)
+		typ, p := roundTrip(t, func(fw *FrameWriter) error { return fw.WriteMigrate(state) })
+		if typ != FrameMigrate {
+			t.Fatalf("frame type 0x%02x", typ)
+		}
+		if string(p) != string(state) {
+			t.Fatalf("payload %q", p)
+		}
+		if err := NewFrameWriter(bufio.NewWriter(io.Discard)).WriteMigrate(make([]byte, MaxFrameBytes+1)); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("oversized migrate payload: err = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("migrate_ack", func(t *testing.T) {
+		for _, in := range []MigrateAck{{OK: true, Seq: 9}, {OK: false, Seq: 1}} {
+			typ, p := roundTrip(t, func(fw *FrameWriter) error { return fw.WriteMigrateAck(in) })
+			if typ != FrameMigrateAck {
+				t.Fatalf("frame type 0x%02x", typ)
+			}
+			var out MigrateAck
+			if err := DecodeMigrateAck(p, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out != in {
+				t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+			}
+		}
+		var a MigrateAck
+		if err := DecodeMigrateAck(make([]byte, 8), &a); err == nil {
+			t.Error("short migrate-ack payload decoded")
+		}
+	})
 }
 
 // TestBinaryDecodeRejectsMalformed pins the decoder's failure mode: short,

@@ -10,8 +10,9 @@
 // -fleet-closed merges a second report under "fleet_closed" — the
 // closed-loop peak-capacity run (binary framing, pipelining window; see
 // EXPERIMENTS.md §Binary vs JSONL framing) whose predictions_per_sec is
-// the serving path's headline number. One BENCH_<date>.json thus tracks
-// the sim substrate and the serving path side by side. Chaos-run reports
+// the serving path's headline number — and -fleet-cluster merges the
+// 3-node cluster pass under "fleet_cluster". One BENCH_<date>.json thus
+// tracks the sim substrate and the serving path side by side. Chaos-run reports
 // carry their resilience counters
 // (lost_samples, reconnects, resumed_sessions, cold_resumes, chaos_seed,
 // chaos_faults) in the same section, so reconnect behaviour is diffable
@@ -48,9 +49,13 @@ type File struct {
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 	// Fleet is the open-loop serving-path load report merged in via
-	// -fleet; FleetClosed the closed-loop capacity report via -fleet-closed.
-	Fleet       *fleet.Report `json:"fleet,omitempty"`
-	FleetClosed *fleet.Report `json:"fleet_closed,omitempty"`
+	// -fleet; FleetClosed the closed-loop capacity report via -fleet-closed;
+	// FleetCluster the multi-node cluster report via -fleet-cluster (the
+	// 3-node closed-loop pass `make bench-json` runs, carrying per-node
+	// rows, migration counters, and the warm-resume ratio).
+	Fleet        *fleet.Report `json:"fleet,omitempty"`
+	FleetClosed  *fleet.Report `json:"fleet_closed,omitempty"`
+	FleetCluster *fleet.Report `json:"fleet_cluster,omitempty"`
 }
 
 // loadFleetReport reads one cmd/prognosload -report file.
@@ -71,6 +76,7 @@ func loadFleetReport(path string) *fleet.Report {
 func main() {
 	fleetPath := flag.String("fleet", "", "merge a cmd/prognosload -report JSON file into the envelope")
 	fleetClosedPath := flag.String("fleet-closed", "", "merge a closed-loop -report JSON file under fleet_closed")
+	fleetClusterPath := flag.String("fleet-cluster", "", "merge a multi-node cluster -report JSON file under fleet_cluster")
 	flag.Parse()
 
 	out := File{
@@ -84,6 +90,9 @@ func main() {
 	}
 	if *fleetClosedPath != "" {
 		out.FleetClosed = loadFleetReport(*fleetClosedPath)
+	}
+	if *fleetClusterPath != "" {
+		out.FleetCluster = loadFleetReport(*fleetClusterPath)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
