@@ -1,6 +1,6 @@
 # Development targets; CI runs `make ci` (see .github/workflows/ci.yml).
 
-.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster
+.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster sweep
 
 # CI umbrella: everything the merge gate needs, cheapest signal first.
 ci: check race cover
@@ -18,6 +18,7 @@ check:
 	go test -short ./...
 	$(MAKE) chaos
 	$(MAKE) cluster
+	$(MAKE) sweep
 
 # Race-enabled short suite: guards the parallel experiment engine. The
 # experiments package trims to a fast experiment subset under the race
@@ -80,6 +81,17 @@ protocol-compat:
 	go run -race ./cmd/prognosload -selfserve -ues 16 -duration 5s \
 		-mode closed -ramp 500ms -framing mixed -window 4
 
+# Policy-sweep smoke: a small drift sweep under the race detector. The
+# sweep fans generated carriers across workers while each worker runs a
+# full sim + online-learner replay, so this also guards the sweep
+# runner's per-spec RNG ownership (the -report bytes must be identical
+# at any -jobs; the experiments test suite pins that, this target proves
+# the CLI path end to end and fails on any per-carrier error).
+SWEEP_CARRIERS ?= 8
+sweep:
+	go run -race ./cmd/vivisect sweep -carriers $(SWEEP_CARRIERS) -drift \
+		-seed 1 -drive-seconds 120 -jobs 4
+
 # Perf trajectory tracking: run the substrate micro-benchmarks plus two
 # serving-path fleets and commit the result as BENCH_<utc-date>.json
 # (see docs/ARCHITECTURE.md §Performance for how to read and compare the
@@ -88,12 +100,16 @@ protocol-compat:
 # path's headline predictions/s) under "fleet_closed", and the 3-node
 # cluster closed-loop pass under "fleet_cluster" (per-node rows, migration
 # counters, warm-resume ratio; see EXPERIMENTS.md §Cluster capacity).
+# A policy sweep (100 generated carriers with mid-run drift; see
+# EXPERIMENTS.md §Policy sweeps) lands under "policy_sweep", so the F1
+# floor and re-convergence numbers are tracked commit over commit too.
 # `date -u` pins the filename to UTC so a nightly run names the same file
 # no matter which timezone the runner happens to be in.
 BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPatternMatch)$$
 FLEET_REPORT ?= /tmp/benchjson-fleet.json
 FLEET_CLOSED_REPORT ?= /tmp/benchjson-fleet-closed.json
 FLEET_CLUSTER_REPORT ?= /tmp/benchjson-fleet-cluster.json
+SWEEP_REPORT ?= /tmp/benchjson-sweep.json
 bench-json:
 	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode open \
 		-ramp 1s -report $(FLEET_REPORT)
@@ -101,9 +117,12 @@ bench-json:
 		-ramp 1s -framing binary -window 16 -report $(FLEET_CLOSED_REPORT)
 	go run ./cmd/prognosload -cluster 3 -ues 64 -duration 10s -mode closed \
 		-ramp 1s -framing binary -window 16 -report $(FLEET_CLUSTER_REPORT)
+	go run ./cmd/vivisect sweep -carriers 100 -drift -seed 1 \
+		-report $(SWEEP_REPORT)
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| go run ./tools/benchjson -fleet $(FLEET_REPORT) \
 			-fleet-closed $(FLEET_CLOSED_REPORT) \
 			-fleet-cluster $(FLEET_CLUSTER_REPORT) \
+			-sweep $(SWEEP_REPORT) \
 		> BENCH_$$(date -u +%Y-%m-%d).json
 	@ls BENCH_$$(date -u +%Y-%m-%d).json

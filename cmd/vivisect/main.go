@@ -7,6 +7,7 @@
 //	vivisect <id> [...]           # run one or more experiments (e.g. fig8)
 //	vivisect all                  # run everything in paper order
 //	vivisect trace                # emit one drive's handover event trace
+//	vivisect sweep                # fuzz generated carrier-policy portfolios
 //
 // Flags:
 //
@@ -27,6 +28,13 @@
 // sim-time coordinates only (no wall clock), so equal seeds give
 // byte-identical traces.
 //
+// Sweep mode (`vivisect sweep`) generates -carriers policy portfolios from
+// -seed (internal/policygen), drives each under an online Prognos learner,
+// and reports time-to-F1-threshold, the F1 floor, and — with -drift — the
+// post-rewrite re-convergence time. -report writes the full JSON report
+// (byte-identical at any -jobs); -ops-addr serves live sweep progress on
+// the ops plane while the run is underway.
+//
 // Tables are printed to stdout in registry order and are byte-identical
 // for any -jobs value at the same seed; live progress and the run summary
 // go to stderr.
@@ -41,11 +49,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cellular"
 	"repro/internal/experiments"
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -64,6 +74,11 @@ func main() {
 	routeName := flag.String("route", "freeway", "trace mode: drive route kind (freeway/city-loop)")
 	lengthM := flag.Float64("length", 20000, "trace mode: route length in metres")
 	traceFile := flag.String("trace-file", "", "trace mode: write the event JSONL here (default stdout)")
+	carriers := flag.Int("carriers", 100, "sweep mode: number of generated carrier portfolios")
+	drift := flag.Bool("drift", false, "sweep mode: rewrite each carrier's policy mid-run")
+	driveSeconds := flag.Float64("drive-seconds", 600, "sweep mode: minimum sim seconds per carrier")
+	f1Threshold := flag.Float64("f1-threshold", 0.6, "sweep mode: convergence F1 bar")
+	opsAddr := flag.String("ops-addr", "", "sweep mode: serve live sweep metrics on this address")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -82,6 +97,18 @@ func main() {
 		return
 	case "trace":
 		os.Exit(runTrace(*seed, *carrier, *archName, *routeName, *lengthM, *traceFile))
+	case "sweep":
+		// Accept flags after the subcommand too (`vivisect sweep -carriers
+		// 100 ...`): flag.Parse stops at the first positional argument, so
+		// re-parse the remainder into the same flag set.
+		if err := flag.CommandLine.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		os.Exit(runSweep(sweepArgs{
+			seed: *seed, carriers: *carriers, drift: *drift, jobs: *jobs,
+			driveSeconds: *driveSeconds, f1Threshold: *f1Threshold,
+			report: *report, opsAddr: *opsAddr,
+		}))
 	case "all":
 		specs = experiments.All()
 	default:
@@ -169,6 +196,94 @@ func runTrace(seed int64, carrierName, archName, routeName string, lengthM float
 	fmt.Fprintf(os.Stderr, "trace: %s/%s %s drive, seed %d: %d samples, %d reports, %d handovers, %d events\n",
 		carrier.Name, arch, route, seed,
 		len(log.Samples), len(log.Reports), len(log.Handovers), tracer.Total())
+	return 0
+}
+
+// sweepArgs carries the sweep-mode flag values.
+type sweepArgs struct {
+	seed         int64
+	carriers     int
+	drift        bool
+	jobs         int
+	driveSeconds float64
+	f1Threshold  float64
+	report       string
+	opsAddr      string
+}
+
+// runSweep executes a carrier-policy portfolio sweep: generate a seeded
+// population, drive each carrier under an online learner, and report the
+// convergence statistics. The JSON report (and the stdout summary) are
+// byte-identical at any -jobs value.
+func runSweep(a sweepArgs) int {
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "vivisect: sweep: %v\n", err)
+		return 1
+	}
+	var stats metrics.SweepStats
+	if a.opsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterSweepMetrics(reg, stats.Snapshot)
+		plane, err := obs.Listen(a.opsAddr, obs.Config{Registry: reg})
+		if err != nil {
+			return fail(err)
+		}
+		defer plane.Close()
+		fmt.Fprintf(os.Stderr, "sweep: ops plane on http://%s/metrics\n", plane.Addr())
+	}
+
+	start := time.Now()
+	var done atomic.Int64
+	rep, err := experiments.RunSweep(context.Background(), experiments.SweepConfig{
+		Carriers:     a.carriers,
+		Seed:         a.seed,
+		Drift:        a.drift,
+		Jobs:         a.jobs,
+		DriveSeconds: a.driveSeconds,
+		F1Threshold:  a.f1Threshold,
+		Stats:        &stats,
+		OnCarrier: func(c metrics.SweepCarrier) {
+			n := done.Add(1)
+			status := "converged"
+			switch {
+			case c.Error != "":
+				status = "FAILED: " + c.Error
+			case !c.Converged:
+				status = "did not converge"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", n, a.carriers, c.Name, status)
+		},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	wall := time.Since(start)
+
+	s := rep.Summary
+	fmt.Printf("policy sweep: seed %d, %d carriers, drift=%v, F1 bar %.2f\n",
+		rep.Seed, s.Carriers, rep.Drift, rep.F1Threshold)
+	fmt.Printf("  converged        %d/%d (median %.0fs to F1, p90 %.0fs)\n",
+		s.Converged, s.Carriers-s.Errors, s.MedianTimeToF1S, s.P90TimeToF1S)
+	if rep.Drift {
+		fmt.Printf("  re-converged     %d/%d after drift at %.0fs (median %.0fs, p90 %.0fs)\n",
+			s.Reconverged, s.Carriers-s.Errors, rep.DriftAtS, s.MedianReconvergeS, s.P90ReconvergeS)
+	}
+	fmt.Printf("  F1 floor         %.3f (p10 %.3f, median %.3f)\n", s.F1Floor, s.F1FloorP10, s.F1FloorMedian)
+	fmt.Printf("  median final F1  %.3f\n", s.MedianFinalF1)
+	if s.Errors > 0 {
+		fmt.Printf("  errors           %d\n", s.Errors)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d carriers in %v wall\n", s.Carriers, wall.Round(time.Millisecond))
+
+	if a.report != "" {
+		if err := rep.WriteFile(a.report); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep report written to %s\n", a.report)
+	}
+	if s.Errors > 0 {
+		return 1
+	}
 	return 0
 }
 

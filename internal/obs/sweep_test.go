@@ -1,0 +1,59 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// TestRegisterSweepMetrics renders the sweep gauges off a live SweepStats
+// and reads them back: mid-run progress must be scrapeable, and the floor
+// gauge must report 0 until the first carrier finishes.
+func TestRegisterSweepMetrics(t *testing.T) {
+	var st metrics.SweepStats
+	r := obs.NewRegistry()
+	obs.RegisterSweepMetrics(r, st.Snapshot)
+
+	scrape := func() map[string]float64 {
+		var b bytes.Buffer
+		if err := r.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := obs.ParseMetrics(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	st.Start(10)
+	got := scrape()
+	if got["prognos_sweep_carriers_planned"] != 10 || got["prognos_sweep_carriers_done"] != 0 {
+		t.Errorf("fresh sweep: %v", got)
+	}
+	if got["prognos_sweep_f1_floor"] != 0 {
+		t.Errorf("floor before any carrier = %v, want 0", got["prognos_sweep_f1_floor"])
+	}
+
+	st.Observe(metrics.SweepCarrier{Converged: true, TimeToF1S: 60, FloorF1: 0.4})
+	st.Observe(metrics.SweepCarrier{Converged: true, TimeToF1S: 120, Reconverged: true, ReconvergeS: 30, FloorF1: 0.2})
+	st.Observe(metrics.SweepCarrier{Error: "boom"})
+	got = scrape()
+	want := map[string]float64{
+		"prognos_sweep_carriers_planned":          10,
+		"prognos_sweep_carriers_done":             3,
+		"prognos_sweep_carrier_errors":            1,
+		"prognos_sweep_converged":                 2,
+		"prognos_sweep_reconverged":               1,
+		"prognos_sweep_median_time_to_f1_seconds": 90,
+		"prognos_sweep_f1_floor":                  0.2,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}

@@ -25,6 +25,10 @@ const (
 	// EvHOTrigger is a simulator-side handover command: the RAN policy
 	// fired on a measurement report and scheduled the procedure.
 	EvHOTrigger = "ho_trigger"
+	// EvPolicyDrift is a simulator-side mid-run policy rewrite: the
+	// carrier replaced its active measurement configuration and decision
+	// logic while the drive (and any attached learner) was running.
+	EvPolicyDrift = "policy_drift"
 	// EvCheckpoint is one checkpoint persistence pass.
 	EvCheckpoint = "checkpoint_persist"
 	// EvMigrateOut is one warm-state shipment to a peer cluster node (a

@@ -1,0 +1,241 @@
+package policygen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/topology"
+)
+
+// Sampling ranges for generated portfolios, anchored to the spreads the
+// diversity study reports across commercial networks: thresholds and
+// offsets cluster in narrow per-event bands, TTT and hysteresis come from
+// the 3GPP enumerations, and report cadences sit in the hundreds of
+// milliseconds. Values are sampled, not enumerated verbatim, so hundreds
+// of carriers stay distinguishable.
+var (
+	// genTTT is the operational slice of the 3GPP TTT enumeration (the
+	// study finds 0 and multi-second values rare in drive conditions).
+	genTTT = []time.Duration{
+		80 * time.Millisecond,
+		100 * time.Millisecond,
+		128 * time.Millisecond,
+		160 * time.Millisecond,
+		256 * time.Millisecond,
+		320 * time.Millisecond,
+		480 * time.Millisecond,
+		640 * time.Millisecond,
+	}
+	// genHyst: 3GPP hysteresis steps are 0.5 dB; operational configs stay
+	// in the low single digits.
+	genHyst = []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	// genA3Offset: a3-Offset values seen in the wild (dB).
+	genA3Offset = []float64{1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0}
+	// genReportInterval: 3GPP ReportInterval enumeration slice.
+	genReportInterval = []time.Duration{
+		240 * time.Millisecond,
+		480 * time.Millisecond,
+		640 * time.Millisecond,
+		1024 * time.Millisecond,
+	}
+	// genReportAmount: 3GPP ReportAmount enumeration (r1..r64, infinity
+	// mapped to a large finite cap by the measurement engine).
+	genReportAmount = []int{2, 4, 8, 16, 32}
+)
+
+// Continuous threshold spreads (dBm). Continuous sampling makes two
+// independently drawn portfolios differ almost surely, which the drift
+// property tests rely on.
+const (
+	genA2LTELo, genA2LTEHi   = -108.0, -96.0
+	genA5Phi1Lo, genA5Phi1Hi = -106.0, -98.0
+	genA2NRLo, genA2NRHi     = -120.0, -108.0
+	genB1NRLo, genB1NRHi     = -112.0, -100.0
+)
+
+// mix hashes (seed, index) into one 64-bit RNG seed, splitmix64-style.
+// Each generated portfolio owns its RNG outright, so sampling is a pure
+// function of (seed, index) — independent of generation order, worker
+// count, or how many portfolios were drawn before it.
+func mix(seed int64, index int) int64 {
+	z := uint64(seed) ^ (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// MixSeed exposes the (seed, index) mixer: sweep runners derive per-carrier
+// sim seeds from it (with their own salt) so every derived stream shares the
+// generator's order- and worker-independence property.
+func MixSeed(seed int64, index int) int64 { return mix(seed, index) }
+
+func pickTTT(r *rand.Rand) time.Duration { return genTTT[r.Intn(len(genTTT))] }
+func pickHyst(r *rand.Rand) float64      { return genHyst[r.Intn(len(genHyst))] }
+func pickInterval(r *rand.Rand) time.Duration {
+	return genReportInterval[r.Intn(len(genReportInterval))]
+}
+func pickAmount(r *rand.Rand) int { return genReportAmount[r.Intn(len(genReportAmount))] }
+func uniform(r *rand.Rand, lo, hi float64) float64 {
+	// Quantise to 0.1 dB so generated thresholds read like config dumps,
+	// while staying effectively continuous for collision purposes.
+	v := lo + (hi-lo)*r.Float64()
+	return float64(int(v*10)) / 10
+}
+
+// GeneratedName returns the canonical name of the i-th generated carrier,
+// e.g. "Gen0042". Names depend only on the index, not the seed, so a
+// drifted resample keeps its identity.
+func GeneratedName(i int) string { return fmt.Sprintf("Gen%04d", i) }
+
+// Generate samples the i-th portfolio of the seed's population. The result
+// is a pure function of (seed, i): any worker of any sweep, in any order,
+// reconstructs the identical portfolio. Every generated portfolio passes
+// Validate by construction (the property tests re-check rather than trust
+// this).
+func Generate(seed int64, i int) Portfolio {
+	r := rand.New(rand.NewSource(mix(seed, i)))
+	p := Portfolio{Name: GeneratedName(i)}
+	p.Deployment = sampleDeployment(r, p.Name)
+	p.Archs = append([]cellular.Arch{}, p.Deployment.Archs...)
+	samplePolicy(r, &p)
+	return p
+}
+
+// samplePolicy fills the event tables and decision sequence from r,
+// leaving identity (Name, Archs, Deployment) untouched. Drift reuses it to
+// rewrite policy parameters without rebuilding the network.
+func samplePolicy(r *rand.Rand, p *Portfolio) {
+	// LTE side: A2 (coverage floor) is always configured, as in every
+	// observed carrier; the decision event is A3 or A5, weighted toward
+	// the A3 family the study finds dominant.
+	a2 := cellular.EventConfig{
+		Type: cellular.EventA2, Tech: cellular.TechLTE,
+		Threshold1: uniform(r, genA2LTELo, genA2LTEHi),
+		Hysteresis: pickHyst(r), TTT: pickTTT(r),
+		ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+	}
+	useA5 := r.Float64() < 0.4
+	var decision cellular.EventConfig
+	if useA5 {
+		phi1 := uniform(r, genA5Phi1Lo, genA5Phi1Hi)
+		// Φ2 = Φ1 + a positive gap: the neighbour bar sits above the
+		// serving floor by construction, so Threshold1 ≤ Threshold2 always.
+		phi2 := phi1 + 1.0 + uniform(r, 0, 3.0)
+		decision = cellular.EventConfig{
+			Type: cellular.EventA5, Tech: cellular.TechLTE,
+			Threshold1: phi1, Threshold2: phi2,
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		}
+	} else {
+		decision = cellular.EventConfig{
+			Type: cellular.EventA3, Tech: cellular.TechLTE,
+			Offset:     genA3Offset[r.Intn(len(genA3Offset))],
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		}
+	}
+	p.LTEEvents = []cellular.EventConfig{a2, decision}
+	// The decision sequence is the carrier fingerprint: about 60% of
+	// portfolios require the A2 prelude before the decision event (OpX/OpZ
+	// style), the rest fire on the decision event alone (OpY style).
+	if r.Float64() < 0.6 {
+		p.LTESequence = []string{"A2", decision.Type.String()}
+	} else {
+		p.LTESequence = []string{decision.Type.String()}
+	}
+
+	// NR side under NSA: B1 discovery (the mandatory inter-RAT event),
+	// NR-A2 (SCG floor) and NR-A3 (SCG mobility) — the trio every NSA
+	// portfolio needs for the SCG rule table to be reachable.
+	p.NREvents = []cellular.EventConfig{
+		{
+			Type: cellular.EventB1, Tech: cellular.TechNR,
+			Threshold1: uniform(r, genB1NRLo, genB1NRHi),
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		},
+		{
+			Type: cellular.EventA2, Tech: cellular.TechNR,
+			Threshold1: uniform(r, genA2NRLo, genA2NRHi),
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		},
+		{
+			Type: cellular.EventA3, Tech: cellular.TechNR,
+			Offset:     genA3Offset[r.Intn(len(genA3Offset))],
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		},
+	}
+
+	// SA: conservative NR A2+A3, sampled whether or not the carrier
+	// currently offers SA (a drifted portfolio may not re-roll Archs, and
+	// the extra draws keep the RNG stream shape uniform across carriers).
+	p.SAEvents = []cellular.EventConfig{
+		{
+			Type: cellular.EventA2, Tech: cellular.TechNR,
+			Threshold1: uniform(r, genA2NRLo, genA2NRHi),
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		},
+		{
+			Type: cellular.EventA3, Tech: cellular.TechNR,
+			Offset:     genA3Offset[r.Intn(len(genA3Offset))],
+			Hysteresis: pickHyst(r), TTT: pickTTT(r),
+			ReportInterval: pickInterval(r), ReportAmount: pickAmount(r),
+		},
+	}
+}
+
+// sampleDeployment draws a band portfolio and deployment strategy: the LTE
+// anchor layers are the common substrate (every US carrier runs a mid+low
+// LTE grid), while the NR side varies — low-band is universal, mid-band
+// and mmWave are coin flips, and the co-location fraction spans the wide
+// spread the paper measures across operators (§6.3).
+func sampleDeployment(r *rand.Rand, name string) topology.CarrierProfile {
+	jitter := func(base float64) float64 { return base * (0.85 + 0.3*r.Float64()) }
+	prof := topology.CarrierProfile{
+		Name:  name,
+		Archs: []cellular.Arch{cellular.ArchNSA},
+		LTELayers: []topology.Layer{
+			{Tech: cellular.TechLTE, Band: cellular.BandMid, SpacingM: jitter(topology.SpacingLTEMid), Sectors: 2, TxPowerDBm: 27},
+			{Tech: cellular.TechLTE, Band: cellular.BandLow, SpacingM: jitter(topology.SpacingLTELow), Sectors: 2, TxPowerDBm: 24},
+		},
+	}
+	// ~30% of generated carriers also offer SA, mirroring the early-SA
+	// minority in the measurement period.
+	if r.Float64() < 0.3 {
+		prof.Archs = append(prof.Archs, cellular.ArchSA)
+	}
+	prof.NRLayers = []topology.Layer{
+		{Tech: cellular.TechNR, Band: cellular.BandLow, SpacingM: jitter(topology.SpacingNRLow), Sectors: 2, TxPowerDBm: 25, CoLocate: 0.05 + 0.45*r.Float64()},
+	}
+	if r.Float64() < 0.45 {
+		prof.NRLayers = append(prof.NRLayers, topology.Layer{
+			Tech: cellular.TechNR, Band: cellular.BandMid, SpacingM: jitter(topology.SpacingNRMid), Sectors: 2, TxPowerDBm: 28, CoLocate: 0.05 + 0.3*r.Float64(),
+		})
+	}
+	if r.Float64() < 0.4 {
+		prof.NRLayers = append(prof.NRLayers, topology.Layer{
+			Tech: cellular.TechNR, Band: cellular.BandMMWave, SpacingM: jitter(topology.SpacingNRMMWave), Sectors: 3, TxPowerDBm: 36, CoLocate: 0.05,
+		})
+	}
+	return prof
+}
+
+// Drifted resamples carrier i's policy parameters under a drift salt,
+// modelling the carrier pushing a reconfiguration: identity (Name, Archs,
+// Deployment) is preserved from the base portfolio, every tunable
+// (thresholds, TTT, hysteresis, offsets, report cadence, decision
+// sequence) is redrawn. Like Generate, it is a pure function of
+// (seed, i) — the same drift lands on every worker byte-identically.
+func Drifted(seed int64, i int) Portfolio {
+	base := Generate(seed, i)
+	// A distinct stream from Generate's: same (seed, i), different salt.
+	r := rand.New(rand.NewSource(mix(mix(seed, i)^0x5bf03635, i)))
+	samplePolicy(r, &base)
+	return base
+}

@@ -8,9 +8,9 @@ package ran
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/policygen"
 )
 
 // Guard constrains when a policy rule may fire, capturing decision context
@@ -163,106 +163,22 @@ func anchoredSubseq(history, seq []string) bool {
 // The three carriers use deliberately different LTE-side sequences so the
 // decision learner faces genuinely distinct per-carrier patterns, as the
 // paper observed (§7.1: "the policy-based HO logic is unique for each HO
-// type").
+// type"). Since the policy-as-data refactor this is a lookup into the
+// policygen builtin portfolios — the golden test in portfolio_test.go pins
+// the result against the original hand-coded tables.
 func PolicyFor(carrier string, arch cellular.Arch) *Policy {
-	lteSeq := map[string][]string{
-		"OpX": {"A2", "A3"},
-		"OpY": {"A3"},
-		"OpZ": {"A2", "A5"},
-	}[carrier]
-	if lteSeq == nil {
-		lteSeq = []string{"A3"}
-	}
-	switch arch {
-	case cellular.ArchSA:
-		return &Policy{
-			Name: carrier + "/SA",
-			Rules: []Rule{
-				{Sequence: []string{"NR-A3"}, Guard: GuardNone, HO: cellular.HOMCGH},
-			},
-		}
-	case cellular.ArchNSA:
-		return &Policy{
-			Name: carrier + "/NSA",
-			Rules: []Rule{
-				// NR leg management. An SCG release needs two consecutive
-				// NR-A2 reports; if a B1 for another NR cell lands between
-				// them the network converts the release into an SCG Change
-				// (the paper's Fig. 16 trigger annotations: SCGC = NR-A2 +
-				// NR-B1, SCGR = NR-A2).
-				{Sequence: []string{"NR-B1"}, Guard: GuardNoNRLeg, HO: cellular.HOSCGA},
-				{Sequence: []string{"NR-A2", "NR-B1"}, Guard: GuardNRAttached, HO: cellular.HOSCGC},
-				{Sequence: []string{"NR-A2", "NR-A2"}, Guard: GuardNRAttached, HO: cellular.HOSCGR},
-				{Sequence: []string{"NR-A3"}, Guard: GuardSameGNB, HO: cellular.HOSCGM},
-				{Sequence: []string{"NR-A3"}, Guard: GuardDiffGNB, HO: cellular.HOSCGC},
-				// LTE anchor mobility.
-				{Sequence: lteSeq, Guard: GuardNRAttached, HO: cellular.HOMNBH},
-				{Sequence: lteSeq, Guard: GuardNoNRLeg, HO: cellular.HOLTEH},
-			},
-		}
-	default:
-		return &Policy{
-			Name: carrier + "/LTE",
-			Rules: []Rule{
-				{Sequence: lteSeq, Guard: GuardNone, HO: cellular.HOLTEH},
-			},
-		}
-	}
+	p := policygen.BuiltinOrDefault(carrier)
+	return PolicyFromPortfolio(&p, arch)
 }
 
 // EventConfigsFor returns the measurement configurations a serving cell
 // pushes to the UE under the given carrier/architecture (step 1 of Fig. 1).
 // Carriers configure only the events their policies consume, which is why
 // the phase patterns a decision learner observes differ per carrier (§7.1).
-// Threshold values are representative of commercial configurations reported
-// in prior measurement work.
+// Threshold values live in the policygen builtin portfolios and are
+// representative of commercial configurations reported in prior
+// measurement work.
 func EventConfigsFor(carrier string, arch cellular.Arch) []cellular.EventConfig {
-	const (
-		ttt    = 320 * time.Millisecond
-		tttB1  = 480 * time.Millisecond
-		hyst   = 2.0
-		period = 480 * time.Millisecond
-		a2LTE  = -100.0
-		a2NR   = -112.0
-		b1NR   = -106.0
-		a5Phi1 = -101.0
-		a5Phi2 = -99.0
-	)
-	var lte []cellular.EventConfig
-	switch carrier {
-	case "OpY":
-		lte = []cellular.EventConfig{
-			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
-			{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
-		}
-	case "OpZ":
-		lte = []cellular.EventConfig{
-			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
-			{Type: cellular.EventA5, Tech: cellular.TechLTE, Threshold1: a5Phi1, Threshold2: a5Phi2, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
-		}
-	default: // OpX and unknown carriers
-		lte = []cellular.EventConfig{
-			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
-			{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
-		}
-	}
-	nrDC := []cellular.EventConfig{
-		{Type: cellular.EventB1, Tech: cellular.TechNR, Threshold1: b1NR, Hysteresis: hyst, TTT: tttB1, ReportInterval: period, ReportAmount: 6},
-		{Type: cellular.EventA2, Tech: cellular.TechNR, Threshold1: a2NR, Hysteresis: hyst, TTT: ttt, ReportInterval: 320 * time.Millisecond, ReportAmount: 6},
-		{Type: cellular.EventA3, Tech: cellular.TechNR, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
-	}
-	switch arch {
-	case cellular.ArchSA:
-		// SA deployments are configured conservatively (larger offset and
-		// TTT): the paper finds SA handovers markedly less frequent than
-		// LTE/NSA (§5.1).
-		return []cellular.EventConfig{
-			{Type: cellular.EventA2, Tech: cellular.TechNR, Threshold1: a2NR, Hysteresis: hyst, TTT: 480 * time.Millisecond, ReportInterval: period, ReportAmount: 4},
-			{Type: cellular.EventA3, Tech: cellular.TechNR, Offset: 5.0, Hysteresis: hyst, TTT: 480 * time.Millisecond, ReportInterval: period, ReportAmount: 8},
-		}
-	case cellular.ArchNSA:
-		return append(append([]cellular.EventConfig{}, lte...), nrDC...)
-	default:
-		return lte
-	}
+	p := policygen.BuiltinOrDefault(carrier)
+	return EventConfigsFromPortfolio(&p, arch)
 }

@@ -1,0 +1,69 @@
+package ran
+
+import (
+	"repro/internal/cellular"
+	"repro/internal/policygen"
+)
+
+// PolicyFromPortfolio constructs a carrier's decision logic for one
+// architecture from a policy-as-data portfolio. The rule-table *shape* is
+// fixed per architecture — it models how NSA networks universally structure
+// SCG management (§4.1/§7.1) — while everything carrier-specific (the LTE
+// anchor decision sequence, and via EventConfigsFromPortfolio the event
+// parameters that gate which reports exist at all) comes from the
+// portfolio.
+func PolicyFromPortfolio(p *policygen.Portfolio, arch cellular.Arch) *Policy {
+	lteSeq := p.LTESequence
+	switch arch {
+	case cellular.ArchSA:
+		return &Policy{
+			Name: p.Name + "/SA",
+			Rules: []Rule{
+				{Sequence: []string{"NR-A3"}, Guard: GuardNone, HO: cellular.HOMCGH},
+			},
+		}
+	case cellular.ArchNSA:
+		return &Policy{
+			Name: p.Name + "/NSA",
+			Rules: []Rule{
+				// NR leg management. An SCG release needs two consecutive
+				// NR-A2 reports; if a B1 for another NR cell lands between
+				// them the network converts the release into an SCG Change
+				// (the paper's Fig. 16 trigger annotations: SCGC = NR-A2 +
+				// NR-B1, SCGR = NR-A2).
+				{Sequence: []string{"NR-B1"}, Guard: GuardNoNRLeg, HO: cellular.HOSCGA},
+				{Sequence: []string{"NR-A2", "NR-B1"}, Guard: GuardNRAttached, HO: cellular.HOSCGC},
+				{Sequence: []string{"NR-A2", "NR-A2"}, Guard: GuardNRAttached, HO: cellular.HOSCGR},
+				{Sequence: []string{"NR-A3"}, Guard: GuardSameGNB, HO: cellular.HOSCGM},
+				{Sequence: []string{"NR-A3"}, Guard: GuardDiffGNB, HO: cellular.HOSCGC},
+				// LTE anchor mobility.
+				{Sequence: lteSeq, Guard: GuardNRAttached, HO: cellular.HOMNBH},
+				{Sequence: lteSeq, Guard: GuardNoNRLeg, HO: cellular.HOLTEH},
+			},
+		}
+	default:
+		return &Policy{
+			Name: p.Name + "/LTE",
+			Rules: []Rule{
+				{Sequence: lteSeq, Guard: GuardNone, HO: cellular.HOLTEH},
+			},
+		}
+	}
+}
+
+// EventConfigsFromPortfolio returns the measurement configurations the
+// portfolio's serving cells push to a UE under the given architecture
+// (step 1 of Fig. 1): the LTE table alone for plain LTE service, LTE plus
+// the NR dual-connectivity table under NSA, and the standalone table under
+// SA. The returned slice is freshly allocated — callers reconfigure
+// measurement engines with it and may hold it across a mid-run drift.
+func EventConfigsFromPortfolio(p *policygen.Portfolio, arch cellular.Arch) []cellular.EventConfig {
+	switch arch {
+	case cellular.ArchSA:
+		return append([]cellular.EventConfig{}, p.SAEvents...)
+	case cellular.ArchNSA:
+		return append(append([]cellular.EventConfig{}, p.LTEEvents...), p.NREvents...)
+	default:
+		return append([]cellular.EventConfig{}, p.LTEEvents...)
+	}
+}

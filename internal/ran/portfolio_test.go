@@ -1,0 +1,151 @@
+package ran
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/policygen"
+)
+
+// legacyPolicyFor is the pre-refactor hand-coded implementation of
+// PolicyFor, carried verbatim as the golden reference: the policy-as-data
+// path must reproduce it rule for rule, or golden traces shift.
+func legacyPolicyFor(carrier string, arch cellular.Arch) *Policy {
+	lteSeq := map[string][]string{
+		"OpX": {"A2", "A3"},
+		"OpY": {"A3"},
+		"OpZ": {"A2", "A5"},
+	}[carrier]
+	if lteSeq == nil {
+		lteSeq = []string{"A3"}
+	}
+	switch arch {
+	case cellular.ArchSA:
+		return &Policy{
+			Name: carrier + "/SA",
+			Rules: []Rule{
+				{Sequence: []string{"NR-A3"}, Guard: GuardNone, HO: cellular.HOMCGH},
+			},
+		}
+	case cellular.ArchNSA:
+		return &Policy{
+			Name: carrier + "/NSA",
+			Rules: []Rule{
+				{Sequence: []string{"NR-B1"}, Guard: GuardNoNRLeg, HO: cellular.HOSCGA},
+				{Sequence: []string{"NR-A2", "NR-B1"}, Guard: GuardNRAttached, HO: cellular.HOSCGC},
+				{Sequence: []string{"NR-A2", "NR-A2"}, Guard: GuardNRAttached, HO: cellular.HOSCGR},
+				{Sequence: []string{"NR-A3"}, Guard: GuardSameGNB, HO: cellular.HOSCGM},
+				{Sequence: []string{"NR-A3"}, Guard: GuardDiffGNB, HO: cellular.HOSCGC},
+				{Sequence: lteSeq, Guard: GuardNRAttached, HO: cellular.HOMNBH},
+				{Sequence: lteSeq, Guard: GuardNoNRLeg, HO: cellular.HOLTEH},
+			},
+		}
+	default:
+		return &Policy{
+			Name: carrier + "/LTE",
+			Rules: []Rule{
+				{Sequence: lteSeq, Guard: GuardNone, HO: cellular.HOLTEH},
+			},
+		}
+	}
+}
+
+// legacyEventConfigsFor is the pre-refactor hand-coded implementation of
+// EventConfigsFor, carried verbatim as the golden reference.
+func legacyEventConfigsFor(carrier string, arch cellular.Arch) []cellular.EventConfig {
+	const (
+		ttt    = 320 * time.Millisecond
+		tttB1  = 480 * time.Millisecond
+		hyst   = 2.0
+		period = 480 * time.Millisecond
+		a2LTE  = -100.0
+		a2NR   = -112.0
+		b1NR   = -106.0
+		a5Phi1 = -101.0
+		a5Phi2 = -99.0
+	)
+	var lte []cellular.EventConfig
+	switch carrier {
+	case "OpY":
+		lte = []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+		}
+	case "OpZ":
+		lte = []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA5, Tech: cellular.TechLTE, Threshold1: a5Phi1, Threshold2: a5Phi2, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+		}
+	default: // OpX and unknown carriers
+		lte = []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechLTE, Threshold1: a2LTE, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA3, Tech: cellular.TechLTE, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+		}
+	}
+	nrDC := []cellular.EventConfig{
+		{Type: cellular.EventB1, Tech: cellular.TechNR, Threshold1: b1NR, Hysteresis: hyst, TTT: tttB1, ReportInterval: period, ReportAmount: 6},
+		{Type: cellular.EventA2, Tech: cellular.TechNR, Threshold1: a2NR, Hysteresis: hyst, TTT: ttt, ReportInterval: 320 * time.Millisecond, ReportAmount: 6},
+		{Type: cellular.EventA3, Tech: cellular.TechNR, Offset: 3.0, Hysteresis: hyst, TTT: ttt, ReportInterval: period, ReportAmount: 8},
+	}
+	switch arch {
+	case cellular.ArchSA:
+		return []cellular.EventConfig{
+			{Type: cellular.EventA2, Tech: cellular.TechNR, Threshold1: a2NR, Hysteresis: hyst, TTT: 480 * time.Millisecond, ReportInterval: period, ReportAmount: 4},
+			{Type: cellular.EventA3, Tech: cellular.TechNR, Offset: 5.0, Hysteresis: hyst, TTT: 480 * time.Millisecond, ReportInterval: period, ReportAmount: 8},
+		}
+	case cellular.ArchNSA:
+		return append(append([]cellular.EventConfig{}, lte...), nrDC...)
+	default:
+		return lte
+	}
+}
+
+// TestPortfolioGoldenEquivalence is the policy-as-data golden test: for
+// every named carrier (plus an unknown one exercising the fallback) and
+// every architecture, the portfolio-built policy and event tables are
+// identical to the pre-refactor hand-coded ones. Any diff here means
+// golden traces are about to shift.
+func TestPortfolioGoldenEquivalence(t *testing.T) {
+	carriers := []string{"OpX", "OpY", "OpZ", "NoSuchCarrier"}
+	archs := []cellular.Arch{cellular.ArchLTE, cellular.ArchNSA, cellular.ArchSA}
+	for _, c := range carriers {
+		for _, a := range archs {
+			if got, want := PolicyFor(c, a), legacyPolicyFor(c, a); !reflect.DeepEqual(got, want) {
+				t.Errorf("PolicyFor(%s, %s):\n got %+v\nwant %+v", c, a, got, want)
+			}
+			if got, want := EventConfigsFor(c, a), legacyEventConfigsFor(c, a); !reflect.DeepEqual(got, want) {
+				t.Errorf("EventConfigsFor(%s, %s):\n got %+v\nwant %+v", c, a, got, want)
+			}
+		}
+	}
+}
+
+// TestGeneratedPortfolioPolicies: policies built from generated portfolios
+// are structurally sound — every rule sequence references an event the
+// portfolio actually configures, so each rule is reachable in principle.
+func TestGeneratedPortfolioPolicies(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		p := policygen.Generate(11, i)
+		for _, arch := range []cellular.Arch{cellular.ArchLTE, cellular.ArchNSA} {
+			pol := PolicyFromPortfolio(&p, arch)
+			cfgs := EventConfigsFromPortfolio(&p, arch)
+			keys := map[string]bool{}
+			for _, c := range cfgs {
+				k := c.Type.String()
+				if c.Tech == cellular.TechNR {
+					k = "NR-" + k
+				}
+				keys[k] = true
+			}
+			for _, r := range pol.Rules {
+				for _, want := range r.Sequence {
+					if !keys[want] {
+						t.Errorf("carrier %d %s: rule %v references unconfigured event %q", i, arch, r, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/policygen"
+	"repro/internal/topology"
+)
+
+// TestScenarioBaseMatchesNamedCarrier: a Scenario whose base is the builtin
+// portfolio of a named carrier produces the byte-identical trace the
+// named-carrier path produces — the policy-as-data plumbing adds nothing.
+func TestScenarioBaseMatchesNamedCarrier(t *testing.T) {
+	for _, carrier := range []string{"OpX", "OpY", "OpZ"} {
+		base := policygen.BuiltinOrDefault(carrier)
+		named := Config{
+			Carrier: base.Deployment, Arch: cellular.ArchNSA,
+			RouteLengthM: 4000, SpeedMPS: 20, Seed: 42,
+		}
+		scen := named
+		scen.Scenario = &policygen.Scenario{Base: base}
+		a, err := Run(named)
+		if err != nil {
+			t.Fatalf("%s named: %v", carrier, err)
+		}
+		b, err := Run(scen)
+		if err != nil {
+			t.Fatalf("%s scenario: %v", carrier, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Errorf("%s: scenario trace differs from named-carrier trace", carrier)
+		}
+	}
+}
+
+// TestDriftRewritesPolicyMidRun: a mid-run drift changes the drive from the
+// drift point on (and only from there), and emits one EvPolicyDrift event.
+func TestDriftRewritesPolicyMidRun(t *testing.T) {
+	base := policygen.Generate(5, 0)
+	// A drifted portfolio with visibly different dynamics is practically
+	// guaranteed by the continuous threshold sampling.
+	drift := policygen.Drifted(5, 0)
+	driftAt := 100 * time.Second
+
+	mk := func(scen *policygen.Scenario, tr *obs.Tracer) Config {
+		return Config{
+			Carrier: base.Deployment, Arch: cellular.ArchNSA,
+			RouteKind: geo.RouteCityLoop, RouteLengthM: 2400, Laps: 3,
+			SpeedMPS: 8, Seed: 9, Scenario: scen, Tracer: tr,
+			TopoOpts: topology.Options{CityDensity: 0.7},
+		}
+	}
+
+	tr := obs.NewTracer(128)
+	plain, err := Run(mk(&policygen.Scenario{Base: base}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := Run(mk(&policygen.Scenario{
+		Base:   base,
+		Drifts: []policygen.Drift{{At: driftAt, Portfolio: drift}},
+	}, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical before the drift point...
+	pre := func(rs []cellular.MeasurementReport) []cellular.MeasurementReport {
+		var out []cellular.MeasurementReport
+		for _, r := range rs {
+			if r.Time < driftAt {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(pre(plain.Reports), pre(drifted.Reports)) {
+		t.Error("reports before the drift point differ")
+	}
+	// ...and genuinely different after it.
+	if reflect.DeepEqual(plain.Reports, drifted.Reports) {
+		t.Error("drift had no effect on the report stream")
+	}
+
+	found := false
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.EvPolicyDrift {
+			found = true
+			if got := time.Duration(ev.SimMS) * time.Millisecond; got < driftAt {
+				t.Errorf("drift event at sim %v, before its schedule %v", got, driftAt)
+			}
+		}
+	}
+	if !found {
+		t.Error("no EvPolicyDrift event traced")
+	}
+}

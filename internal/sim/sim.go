@@ -17,6 +17,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/policygen"
 	"repro/internal/throughput"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -49,6 +50,14 @@ type Config struct {
 	// never influences the simulation (trace.Log output is byte-identical
 	// with or without it).
 	Tracer *obs.Tracer
+	// Scenario, when set, runs the drive under a policy-as-data scenario:
+	// the base portfolio's event tables and decision logic replace the
+	// named-carrier lookup, and each Drift rewrites the active policy at
+	// its sim time mid-run (the carrier reconfigures while the drive — and
+	// any attached learner — is underway). The deployment still comes from
+	// Carrier; drift changes policy, not towers. Nil keeps the historical
+	// named-carrier path bit-identical.
+	Scenario *policygen.Scenario
 	// TopoOpts tunes deployment generation.
 	TopoOpts topology.Options
 	// SampleEveryN stores every Nth 20 Hz sample (default 1 = all). The

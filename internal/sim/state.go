@@ -8,6 +8,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/policygen"
 	"repro/internal/radio"
 	"repro/internal/ran"
 	"repro/internal/throughput"
@@ -45,6 +46,16 @@ type state struct {
 
 	meas   *ue.MeasurementEngine
 	engine *ran.Engine
+	// events is the active measurement-configuration table: the portfolio
+	// (or named-carrier) table at start, swapped wholesale by a policy
+	// drift. Reconfigure call sites use this cached slice rather than
+	// re-deriving from the carrier name, so drifted policies survive
+	// handovers and RLF recovery.
+	events []cellular.EventConfig
+	// drifts are the pending mid-run policy rewrites, in time order;
+	// nextDrift indexes the first not yet applied.
+	drifts    []policygen.Drift
+	nextDrift int
 	// Per-cell processes are addressed by the deployment's state slot
 	// (Deployment.StateSlot) instead of GlobalID-keyed maps: a slice load
 	// replaces a fmt.Sprintf allocation plus a string hash per cell per
@@ -135,13 +146,46 @@ func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *ra
 			s.obsNR = append(s.obsNR, o)
 		}
 	}
-	me, err := ue.NewMeasurementEngine(ran.EventConfigsFor(cfg.Carrier.Name, cfg.Arch))
+	var policy *ran.Policy
+	if cfg.Scenario != nil {
+		s.events = ran.EventConfigsFromPortfolio(&cfg.Scenario.Base, cfg.Arch)
+		policy = ran.PolicyFromPortfolio(&cfg.Scenario.Base, cfg.Arch)
+		s.drifts = cfg.Scenario.Drifts
+	} else {
+		s.events = ran.EventConfigsFor(cfg.Carrier.Name, cfg.Arch)
+		policy = ran.PolicyFor(cfg.Carrier.Name, cfg.Arch)
+	}
+	me, err := ue.NewMeasurementEngine(s.events)
 	if err != nil {
 		panic("sim: " + err.Error())
 	}
 	s.meas = me
-	s.engine = ran.NewEngine(ran.PolicyFor(cfg.Carrier.Name, cfg.Arch))
+	s.engine = ran.NewEngine(policy)
 	return s
+}
+
+// applyDrift activates any scheduled policy rewrites whose time has come:
+// the serving network pushes a fresh measurement configuration (resetting
+// TTT state, as any reconfiguration does) and swaps its decision logic.
+// The deployment is untouched — drift models a parameter push, not new
+// towers.
+func (s *state) applyDrift() {
+	for s.nextDrift < len(s.drifts) && s.now >= s.drifts[s.nextDrift].At {
+		p := &s.drifts[s.nextDrift].Portfolio
+		s.nextDrift++
+		s.events = ran.EventConfigsFromPortfolio(p, s.cfg.Arch)
+		s.engine.SetPolicy(ran.PolicyFromPortfolio(p, s.cfg.Arch))
+		s.meas.Reconfigure(s.events)
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Emit(obs.Event{
+				Kind:    obs.EvPolicyDrift,
+				SimMS:   float64(s.now) / float64(time.Millisecond),
+				Carrier: s.cfg.Carrier.Name,
+				Arch:    s.cfg.Arch.String(),
+				Detail:  "policy rewrite -> " + p.SequenceString(),
+			})
+		}
+	}
 }
 
 // shadowFor returns the per-cell correlated shadowing process.
@@ -388,6 +432,8 @@ func (s *state) run() {
 }
 
 func (s *state) tick(p geo.Point, dt time.Duration) {
+	s.applyDrift()
+
 	// Complete an in-flight handover.
 	if s.pending != nil && s.now >= s.pending.endAt {
 		s.applyPending(p)
@@ -415,7 +461,7 @@ func (s *state) recoverIfLost(p geo.Point) {
 		if s.nrCell == nil || s.observed(s.nrCell, p) < rlfFloor {
 			if o, ok := best(s.obsNR, s.nrCell); ok {
 				s.nrCell = o.cell
-				s.meas.Reconfigure(ran.EventConfigsFor(s.cfg.Carrier.Name, s.cfg.Arch))
+				s.meas.Reconfigure(s.events)
 			}
 		}
 		return
@@ -423,7 +469,7 @@ func (s *state) recoverIfLost(p geo.Point) {
 	if s.lteCell == nil || s.observed(s.lteCell, p) < rlfFloor {
 		if o, ok := best(s.obsLTE, s.lteCell); ok {
 			s.lteCell = o.cell
-			s.meas.Reconfigure(ran.EventConfigsFor(s.cfg.Carrier.Name, s.cfg.Arch))
+			s.meas.Reconfigure(s.events)
 		}
 	}
 }
@@ -699,7 +745,7 @@ func (s *state) applyPending(p geo.Point) {
 	}
 	// New serving cell pushes fresh measurement configuration (Fig. 1
 	// step 1), resetting TTT state.
-	s.meas.Reconfigure(ran.EventConfigsFor(s.cfg.Carrier.Name, s.cfg.Arch))
+	s.meas.Reconfigure(s.events)
 }
 
 // beamTrainingDur is how long a freshly attached mmWave gNB needs to

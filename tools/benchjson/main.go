@@ -16,7 +16,9 @@
 // carry their resilience counters
 // (lost_samples, reconnects, resumed_sessions, cold_resumes, chaos_seed,
 // chaos_faults) in the same section, so reconnect behaviour is diffable
-// across commits too.
+// across commits too. -sweep sweep.json (a `vivisect sweep -report` file)
+// merges the policy-portfolio sweep report under "policy_sweep", folding
+// convergence/re-convergence/F1-floor numbers into the same envelope.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 )
 
 // Result holds one benchmark's parsed measurements.
@@ -56,6 +59,10 @@ type File struct {
 	Fleet        *fleet.Report `json:"fleet,omitempty"`
 	FleetClosed  *fleet.Report `json:"fleet_closed,omitempty"`
 	FleetCluster *fleet.Report `json:"fleet_cluster,omitempty"`
+	// PolicySweep is the carrier-policy portfolio sweep report merged in
+	// via -sweep (a `vivisect sweep -report` file): convergence and
+	// re-convergence statistics over a generated carrier population.
+	PolicySweep *metrics.SweepReport `json:"policy_sweep,omitempty"`
 }
 
 // loadFleetReport reads one cmd/prognosload -report file.
@@ -77,6 +84,7 @@ func main() {
 	fleetPath := flag.String("fleet", "", "merge a cmd/prognosload -report JSON file into the envelope")
 	fleetClosedPath := flag.String("fleet-closed", "", "merge a closed-loop -report JSON file under fleet_closed")
 	fleetClusterPath := flag.String("fleet-cluster", "", "merge a multi-node cluster -report JSON file under fleet_cluster")
+	sweepPath := flag.String("sweep", "", "merge a `vivisect sweep -report` JSON file under policy_sweep")
 	flag.Parse()
 
 	out := File{
@@ -93,6 +101,14 @@ func main() {
 	}
 	if *fleetClusterPath != "" {
 		out.FleetCluster = loadFleetReport(*fleetClusterPath)
+	}
+	if *sweepPath != "" {
+		rep, err := metrics.ReadSweepFile(*sweepPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		out.PolicySweep = &rep
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -119,7 +135,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 		os.Exit(1)
 	}
-	if len(out.Benchmarks) == 0 && out.Fleet == nil {
+	if len(out.Benchmarks) == 0 && out.Fleet == nil && out.PolicySweep == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
