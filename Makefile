@@ -1,6 +1,6 @@
 # Development targets; CI runs `make ci` (see .github/workflows/ci.yml).
 
-.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster sweep
+.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster crashtest sweep
 
 # CI umbrella: everything the merge gate needs, cheapest signal first.
 ci: check race cover
@@ -18,6 +18,7 @@ check:
 	go test -short ./...
 	$(MAKE) chaos
 	$(MAKE) cluster
+	$(MAKE) crashtest
 	$(MAKE) sweep
 
 # Race-enabled short suite: guards the parallel experiment engine. The
@@ -72,6 +73,19 @@ cluster:
 	go run -race ./cmd/prognosload -cluster 3 -ues 64 -duration 5s \
 		-mode open -ramp 1s -rolling-restart -min-warm-resume 0.9
 
+# Crash-fault smoke: a 64-UE closed-loop fleet over an in-process 3-node
+# cluster under the race detector, with one node hard-killed mid-run (no
+# drain — connections RST, the node's local state dies with it) and
+# revived empty later. Survival rides on async warm-state replication
+# plus detector-confirmed failover (docs/ARCHITECTURE.md §Failure model):
+# prognosload exits non-zero on any lost sample, any session error, or a
+# warm-resume ratio below 0.9, so this target is the replayable proof of
+# the bounded-staleness crash contract.
+crashtest:
+	go run -race ./cmd/prognosload -cluster 3 -ues 64 -duration 5s \
+		-mode closed -framing binary -window 4 -ramp 1s -node-kill \
+		-min-warm-resume 0.9
+
 # Wire-protocol interop smoke: a mixed-framing fleet (even UEs binary,
 # odd JSONL — see docs/PROTOCOL.md) with a pipelining window, against an
 # in-process server under the race detector. Every sample must earn a
@@ -99,7 +113,9 @@ sweep:
 # closed-loop capacity run (binary framing, window 16 — the serving
 # path's headline predictions/s) under "fleet_closed", and the 3-node
 # cluster closed-loop pass under "fleet_cluster" (per-node rows, migration
-# counters, warm-resume ratio; see EXPERIMENTS.md §Cluster capacity).
+# counters, warm-resume ratio; see EXPERIMENTS.md §Cluster capacity), and
+# the node-kill crash pass under "fleet_crash" (failovers, replication
+# pushes/bytes, warm-resume ratio through a hard node crash).
 # A policy sweep (100 generated carriers with mid-run drift; see
 # EXPERIMENTS.md §Policy sweeps) lands under "policy_sweep", so the F1
 # floor and re-convergence numbers are tracked commit over commit too.
@@ -109,6 +125,7 @@ BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPattern
 FLEET_REPORT ?= /tmp/benchjson-fleet.json
 FLEET_CLOSED_REPORT ?= /tmp/benchjson-fleet-closed.json
 FLEET_CLUSTER_REPORT ?= /tmp/benchjson-fleet-cluster.json
+FLEET_CRASH_REPORT ?= /tmp/benchjson-fleet-crash.json
 SWEEP_REPORT ?= /tmp/benchjson-sweep.json
 bench-json:
 	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode open \
@@ -117,12 +134,16 @@ bench-json:
 		-ramp 1s -framing binary -window 16 -report $(FLEET_CLOSED_REPORT)
 	go run ./cmd/prognosload -cluster 3 -ues 64 -duration 10s -mode closed \
 		-ramp 1s -framing binary -window 16 -report $(FLEET_CLUSTER_REPORT)
+	go run ./cmd/prognosload -cluster 3 -ues 64 -duration 10s -mode closed \
+		-ramp 1s -framing binary -window 4 -node-kill -min-warm-resume 0.9 \
+		-report $(FLEET_CRASH_REPORT)
 	go run ./cmd/vivisect sweep -carriers 100 -drift -seed 1 \
 		-report $(SWEEP_REPORT)
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| go run ./tools/benchjson -fleet $(FLEET_REPORT) \
 			-fleet-closed $(FLEET_CLOSED_REPORT) \
 			-fleet-cluster $(FLEET_CLUSTER_REPORT) \
+			-fleet-crash $(FLEET_CRASH_REPORT) \
 			-sweep $(SWEEP_REPORT) \
 		> BENCH_$$(date -u +%Y-%m-%d).json
 	@ls BENCH_$$(date -u +%Y-%m-%d).json

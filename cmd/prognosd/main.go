@@ -46,7 +46,12 @@
 // shutdown it drains warm — parked sessions and learned context state
 // ship to the ring successors over migration streams so resumed sessions
 // start warm on their new node (docs/ARCHITECTURE.md §Cluster,
-// docs/PROTOCOL.md §Migration frames).
+// docs/PROTOCOL.md §Migration frames). -replication-interval additionally
+// streams warm state to the ring successors ahead of any failure, so a
+// peer that crashes without draining loses at most the samples since its
+// last push: the surviving nodes' heartbeat detector confirms it down and
+// they serve its sessions from replicated state
+// (docs/ARCHITECTURE.md §Failure model).
 //
 // Usage:
 //
@@ -55,6 +60,7 @@
 //	         [-resume-grace 30s] [-checkpoint dir] [-checkpoint-interval 10s]
 //	         [-ops-addr 127.0.0.1:9090] [-trace-file events.jsonl]
 //	         [-cluster host:7015,host:7016,host:7017] [-advertise host:7015]
+//	         [-replication-interval 100ms] [-heartbeat-interval 50ms]
 //
 // Try it against a simulated drive with examples/livepredict, or load it
 // with a synthetic UE fleet via cmd/prognosload.
@@ -89,6 +95,8 @@ func main() {
 	traceFile := flag.String("trace-file", "", "mirror serving-pipeline trace events to this JSONL file")
 	clusterList := flag.String("cluster", "", "comma-separated cluster member list (must include this node's advertised address); empty = single node")
 	advertise := flag.String("advertise", "", "this node's address within -cluster (defaults to -addr)")
+	replicationEvery := flag.Duration("replication-interval", 0, "with -cluster: push warm state to ring successors at this interval for crash failover (0 = off)")
+	heartbeatEvery := flag.Duration("heartbeat-interval", 0, "with -cluster: peer failure-detector probe interval (0 = default when replicating)")
 	flag.Parse()
 
 	// Cluster wiring: the member list plus this node's advertised identity
@@ -134,14 +142,16 @@ func main() {
 	}
 
 	srv, err := server.ListenWith(*addr, server.Options{
-		MaxSessions:        *maxSessions,
-		SessionTimeout:     *sessionTimeout,
-		ResumeGrace:        *resumeGrace,
-		CheckpointDir:      *checkpointDir,
-		CheckpointInterval: *checkpointEvery,
-		Tracer:             tracer,
-		Cluster:            ring,
-		NodeAddr:           nodeAddr,
+		MaxSessions:         *maxSessions,
+		SessionTimeout:      *sessionTimeout,
+		ResumeGrace:         *resumeGrace,
+		CheckpointDir:       *checkpointDir,
+		CheckpointInterval:  *checkpointEvery,
+		Tracer:              tracer,
+		Cluster:             ring,
+		NodeAddr:            nodeAddr,
+		ReplicationInterval: *replicationEvery,
+		HeartbeatInterval:   *heartbeatEvery,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
@@ -210,8 +220,7 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prognosd: drain-to-cluster: %v\n", err)
 		}
-		fmt.Printf("prognosd: migrated %d sessions + %d contexts (%d bytes) to %d peers in %v\n",
-			ds.Sessions, ds.Contexts, ds.Bytes, ds.Targets, ds.Elapsed.Round(time.Millisecond))
+		fmt.Printf("prognosd: %s\n", ds.Summary())
 	} else if err := srv.Drain(*drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "prognosd: %v\n", err)
 	}

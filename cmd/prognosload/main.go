@@ -18,7 +18,7 @@
 //	            [-ops-addr 127.0.0.1:0]
 //	            [-chaos] [-chaos-seed 1] [-chaos-reset 0.05] ...
 //	            [-addrs h:7015,h:7016,h:7017 | -cluster 3]
-//	            [-rolling-restart] [-min-warm-resume 0.9]
+//	            [-rolling-restart | -node-kill] [-min-warm-resume 0.9]
 //
 // Cluster mode: -addrs points the fleet at an external prognosd cluster
 // (each UE dials its token's consistent-hash owner, with the remaining
@@ -26,7 +26,11 @@
 // starts an in-process N-node cluster instead. -rolling-restart drain-
 // restarts every in-process node once under load — the zero-loss warm
 // migration acceptance run `make cluster` gates on, together with
-// -min-warm-resume.
+// -min-warm-resume. -node-kill instead hard-crashes one in-process node
+// mid-load (no drain — connections RST, local state lost) and revives it
+// later: survival rides on async warm-state replication and detector-
+// confirmed failover (docs/ARCHITECTURE.md §Failure model), and the same
+// zero-loss and warm-resume gates apply — the `make crashtest` run.
 //
 // -framing selects the wire framing the UEs negotiate (docs/PROTOCOL.md):
 // jsonl (default), binary, or mixed (even UEs binary, odd JSONL — the
@@ -89,6 +93,7 @@ func main() {
 	addrs := flag.String("addrs", "", "comma-separated external cluster member list; UEs route by consistent hash")
 	clusterNodes := flag.Int("cluster", 0, "start an in-process cluster of N nodes and load it (N > 1)")
 	rollingRestart := flag.Bool("rolling-restart", false, "with -cluster: drain-restart every node once under load")
+	nodeKill := flag.Bool("node-kill", false, "with -cluster: hard-crash one node mid-load (no drain) and revive it later")
 	minWarmResume := flag.Float64("min-warm-resume", 0, "fail the run if the warm-resume ratio falls below this (0 = off)")
 	flag.Parse()
 
@@ -137,6 +142,7 @@ func main() {
 		cfg.Addr = ""
 		cfg.ClusterNodes = *clusterNodes
 		cfg.RollingRestart = *rollingRestart
+		cfg.NodeKill = *nodeKill
 	}
 	if *chaosOn {
 		cfg.Chaos = &chaos.Config{
@@ -183,6 +189,11 @@ func main() {
 		for _, n := range rep.PerNode {
 			fmt.Printf("  node %s: sessions %d  samples %d  restarts %d  migrated out/in %d/%d  resumed %d\n",
 				n.Addr, n.Sessions, n.Samples, n.Restarts, n.MigratedOut, n.MigratedIn, n.Resumed)
+		}
+		if rep.NodeKills > 0 || rep.Failovers > 0 {
+			fmt.Printf("crash: kills %d  failovers %d  replication pushes %d (%d bytes)  reconnects %d  resumed %d  cold %d\n",
+				rep.NodeKills, rep.Failovers, rep.ReplicationPushes, rep.ReplicationBytes,
+				rep.Reconnects, rep.ResumedSessions, rep.ColdResumes)
 		}
 	}
 	if rep.FailedUEs > 0 {

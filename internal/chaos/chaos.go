@@ -217,7 +217,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 	plan := l.nextPlan()
 	if plan.AcceptFail {
-		rstClose(conn)
+		RSTClose(conn)
 		return nil, &AcceptError{Conn: plan.Conn}
 	}
 	return newConn(conn, plan), nil
@@ -237,10 +237,12 @@ func (l *Listener) History() []Plan {
 	return append([]Plan(nil), l.plans...)
 }
 
-// rstClose tears a connection down abruptly: SO_LINGER 0 makes the close
+// RSTClose tears a connection down abruptly: SO_LINGER 0 makes the close
 // send an RST instead of a FIN, the way a crashed peer or cleared NAT
-// entry looks from the other side.
-func rstClose(c net.Conn) {
+// entry looks from the other side. The chaos proxy uses it for reset
+// faults; the node-kill chaos mode (server.Kill, fleet Config.NodeKill)
+// uses it to make a whole node's teardown look like a crash.
+func RSTClose(c net.Conn) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetLinger(0)
 	}
@@ -290,7 +292,7 @@ func (c *conn) account(n int) bool {
 		c.stallOnce.Do(func() { time.Sleep(c.plan.StallFor) })
 	}
 	if c.plan.ResetAfter > 0 && total >= c.plan.ResetAfter && c.cut.CompareAndSwap(false, true) {
-		rstClose(c.Conn)
+		RSTClose(c.Conn)
 	}
 	return !c.cut.Load()
 }
@@ -326,7 +328,7 @@ func (c *conn) Write(p []byte) (int, error) {
 				n, _ = c.writePieces(p[:keep])
 			}
 			if c.cut.CompareAndSwap(false, true) {
-				rstClose(c.Conn)
+				RSTClose(c.Conn)
 			}
 			return n, &errCut{p: c.plan}
 		}

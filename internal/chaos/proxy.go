@@ -114,7 +114,7 @@ func (p *Proxy) acceptLoop() {
 func (p *Proxy) forward(client net.Conn) {
 	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
 	if err != nil {
-		rstClose(client)
+		RSTClose(client)
 		return
 	}
 	defer up.Close()

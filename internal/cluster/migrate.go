@@ -42,6 +42,14 @@ type SessionState struct {
 	Seq       int64           `json:"seq,omitempty"`
 	Responses []wire.Response `json:"responses,omitempty"`
 	Snapshot  core.Snapshot   `json:"snapshot"`
+	// Partial marks a replication push of a live session's resume state
+	// (cursor + replay tail) without its learner snapshot: the hot path
+	// deposits these cheaply every replication interval, and a promoting
+	// node warm-starts the learner from the separately replicated context
+	// snapshot instead. Never set on drain migration. Schema note: added
+	// under SessionStateVersion 1 — old receivers ignore the field and
+	// treat the state as a (stale-snapshot) parked session, which is safe.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ShipStats accounts one migration pass to one target node.
@@ -64,9 +72,30 @@ type ShipStats struct {
 // best-effort by design, because every shipped state is also recoverable
 // the slow way (cold start warmed by checkpoint, §Resilience).
 func Ship(addr, origin string, states []SessionState, timeout time.Duration) (ShipStats, error) {
+	return ship(addr, origin, states, timeout, false)
+}
+
+// ShipReplicas opens one async replication stream to addr and pushes
+// states over it — the same wire choreography as Ship, but under a
+// "replicate" hello and FrameReplicate/FrameReplicateAck frames, so the
+// receiver holds the states passively (replica table + warm store) for
+// crash failover instead of serving them. Best-effort like Ship: a failed
+// pass costs staleness, never correctness, because the next tick pushes
+// fresh state again.
+func ShipReplicas(addr, origin string, states []SessionState, timeout time.Duration) (ShipStats, error) {
+	return ship(addr, origin, states, timeout, true)
+}
+
+// ship is the shared stream body of Ship and ShipReplicas; replica picks
+// the hello flag, frame type and ack decoder.
+func ship(addr, origin string, states []SessionState, timeout time.Duration, replica bool) (ShipStats, error) {
 	var st ShipStats
 	if len(states) == 0 {
 		return st, nil
+	}
+	kind := "migrate"
+	if replica {
+		kind = "replicate"
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -79,7 +108,13 @@ func Ship(addr, origin string, states []SessionState, timeout time.Duration) (Sh
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 
-	hello, err := json.Marshal(wire.Hello{Migrate: true, Node: origin, Framing: string(wire.FramingBinary)})
+	h := wire.Hello{Node: origin, Framing: string(wire.FramingBinary)}
+	if replica {
+		h.Replicate = true
+	} else {
+		h.Migrate = true
+	}
+	hello, err := json.Marshal(h)
 	if err != nil {
 		return st, err
 	}
@@ -92,20 +127,20 @@ func Ship(addr, origin string, states []SessionState, timeout time.Duration) (Sh
 	}
 	line, err := wire.ReadLine(br, wire.MaxLineBytes)
 	if err != nil {
-		return st, fmt.Errorf("cluster: read migrate handshake from %s: %w", addr, err)
+		return st, fmt.Errorf("cluster: read %s handshake from %s: %w", kind, addr, err)
 	}
 	var env struct {
 		FramingAck bool   `json:"framing_ack"`
 		Err        string `json:"error"`
 	}
 	if err := json.Unmarshal(line, &env); err != nil {
-		return st, fmt.Errorf("cluster: bad migrate handshake from %s: %w", addr, err)
+		return st, fmt.Errorf("cluster: bad %s handshake from %s: %w", kind, addr, err)
 	}
 	if env.Err != "" {
-		return st, fmt.Errorf("cluster: %s rejected migration: %s", addr, env.Err)
+		return st, fmt.Errorf("cluster: %s rejected %s stream: %s", addr, kind, env.Err)
 	}
 	if !env.FramingAck {
-		return st, fmt.Errorf("cluster: %s answered migrate hello without framing ack", addr)
+		return st, fmt.Errorf("cluster: %s answered %s hello without framing ack", addr, kind)
 	}
 
 	// Ship everything pipelined, then collect one ack per state. The ack
@@ -121,7 +156,12 @@ func Ship(addr, origin string, states []SessionState, timeout time.Duration) (Sh
 		if err != nil {
 			return st, fmt.Errorf("cluster: encode session state %q: %w", s.Token, err)
 		}
-		if err := fw.WriteMigrate(payload); err != nil {
+		if replica {
+			err = fw.WriteReplicate(payload)
+		} else {
+			err = fw.WriteMigrate(payload)
+		}
+		if err != nil {
 			return st, err
 		}
 		st.Bytes += int64(len(payload))
@@ -129,25 +169,34 @@ func Ship(addr, origin string, states []SessionState, timeout time.Duration) (Sh
 	if err := bw.Flush(); err != nil {
 		return st, err
 	}
+	wantAck := wire.FrameMigrateAck
+	if replica {
+		wantAck = wire.FrameReplicateAck
+	}
 	fr := wire.NewFrameReader(br)
 	for i := range states {
 		typ, p, err := fr.ReadFrame()
 		if err != nil {
-			return st, fmt.Errorf("cluster: read migrate ack %d/%d from %s: %w", i+1, len(states), addr, err)
+			return st, fmt.Errorf("cluster: read %s ack %d/%d from %s: %w", kind, i+1, len(states), addr, err)
 		}
 		switch typ {
-		case wire.FrameMigrateAck:
+		case wantAck:
 		case wire.FrameError:
-			return st, fmt.Errorf("cluster: %s aborted migration: %s", addr, p)
+			return st, fmt.Errorf("cluster: %s aborted %s stream: %s", addr, kind, p)
 		default:
-			return st, fmt.Errorf("cluster: unexpected frame 0x%02x in migrate ack stream", typ)
+			return st, fmt.Errorf("cluster: unexpected frame 0x%02x in %s ack stream", typ, kind)
 		}
 		var ack wire.MigrateAck
-		if err := wire.DecodeMigrateAck(p, &ack); err != nil {
+		if replica {
+			err = wire.DecodeReplicateAck(p, &ack)
+		} else {
+			err = wire.DecodeMigrateAck(p, &ack)
+		}
+		if err != nil {
 			return st, err
 		}
 		if ack.Seq != int64(i+1) {
-			return st, fmt.Errorf("cluster: migrate ack out of order: got seq %d, want %d", ack.Seq, i+1)
+			return st, fmt.Errorf("cluster: %s ack out of order: got seq %d, want %d", kind, ack.Seq, i+1)
 		}
 		switch {
 		case !ack.OK:

@@ -37,6 +37,7 @@ type clusterNode struct {
 	opts     server.Options
 	prior    metrics.ServerSnapshot
 	restarts int
+	kills    int
 }
 
 // stats returns the node's counters across every generation so far.
@@ -126,6 +127,45 @@ func (r *clusterRig) restart(i int, drainTimeout time.Duration) error {
 	return drainErr
 }
 
+// kill crashes node i: no drain, no checkpoint, no goodbye — the listener
+// closes and every live connection is torn down with an RST, exactly the
+// failure the replication layer exists to survive. The dead server object
+// stays in place (its counters remain readable) until revive folds it into
+// prior and swaps in a fresh generation.
+func (r *clusterRig) kill(i int) {
+	n := r.nodes[i]
+	n.srv.Kill()
+	n.mu.Lock()
+	n.kills++
+	n.mu.Unlock()
+}
+
+// revive brings a killed node back on its old address with a fresh, empty
+// server — a crashed process restarting has no local state; whatever its
+// sessions need now lives in its peers' replica tables and warm stores,
+// and anti-entropy pushes it back over the following replication passes.
+func (r *clusterRig) revive(i int) error {
+	n := r.nodes[i]
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", n.addr)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("fleet: rebinding revived node %s: %w", n.addr, err)
+	}
+	n.mu.Lock()
+	n.prior = sumSnapshots(n.prior, n.srv.Stats())
+	n.srv = server.Serve(ln, n.opts)
+	n.mu.Unlock()
+	return nil
+}
+
 // close shuts every node down.
 func (r *clusterRig) close() {
 	for _, n := range r.nodes {
@@ -178,6 +218,17 @@ func sumSnapshots(a, b metrics.ServerSnapshot) metrics.ServerSnapshot {
 	if b.MigrationLastUS > a.MigrationLastUS {
 		a.MigrationLastUS = b.MigrationLastUS
 	}
+	a.ReplicationPushes += b.ReplicationPushes
+	a.ReplicationBytesOut += b.ReplicationBytesOut
+	a.ReplicationBytesIn += b.ReplicationBytesIn
+	// Lag is a per-instance freshness gauge; the aggregate reports the
+	// worst (largest) member, the one bounding the cluster's staleness.
+	if b.ReplicationLagUS > a.ReplicationLagUS {
+		a.ReplicationLagUS = b.ReplicationLagUS
+	}
+	a.ReplicaSessions += b.ReplicaSessions
+	a.PeerSuspects += b.PeerSuspects
+	a.Failovers += b.Failovers
 	a.Latency = metrics.LatencySnapshot{}
 	return a
 }
@@ -186,6 +237,9 @@ func sumSnapshots(a, b metrics.ServerSnapshot) metrics.ServerSnapshot {
 type NodeReport struct {
 	Addr     string `json:"addr"`
 	Restarts int    `json:"restarts,omitempty"`
+	// Kills counts hard crashes the run inflicted on this node (no drain;
+	// the node's live state died with it and failover took over).
+	Kills int `json:"kills,omitempty"`
 	// Counters span every server generation of the node (restarts fold
 	// the closed generation in), so a restarted node keeps its history.
 	Sessions        int64 `json:"sessions"`
@@ -197,12 +251,15 @@ type NodeReport struct {
 	MigratedIn      int64 `json:"migrated_in_sessions,omitempty"`
 	MigratedResumes int64 `json:"migrated_resumes,omitempty"`
 	SessionErrors   int64 `json:"session_errors,omitempty"`
+	// Failovers counts sessions this node promoted from replicated state.
+	Failovers int64 `json:"failovers,omitempty"`
 }
 
 // nodeReport flattens one rig node's lifetime counters.
 func nodeReport(n *clusterNode) NodeReport {
 	rep := snapshotReport(n.addr, n.stats())
 	rep.Restarts = n.restarts
+	rep.Kills = n.kills
 	return rep
 }
 
@@ -220,5 +277,6 @@ func snapshotReport(addr string, s metrics.ServerSnapshot) NodeReport {
 		MigratedIn:      s.MigratedIn,
 		MigratedResumes: s.MigratedResumes,
 		SessionErrors:   s.SessionErrors,
+		Failovers:       s.Failovers,
 	}
 }

@@ -113,6 +113,64 @@ func TestFleetRollingRestartZeroLoss(t *testing.T) {
 	}
 }
 
+// TestFleetNodeKillZeroLoss is the crash-contract smoke at test scale: a
+// closed-loop fleet over an in-process 3-node cluster with node 0
+// hard-killed mid-run (no drain) and revived later. Replication plus
+// detector-confirmed failover must hold the run to zero lost samples and
+// zero session errors; which sessions fail over depends on where the
+// ring placed the tokens (the ports are ephemeral), so the failover
+// count itself is asserted only through the per-node kill accounting.
+func TestFleetNodeKillZeroLoss(t *testing.T) {
+	rep, err := Run(Config{
+		UEs:          8,
+		Duration:     2 * time.Second,
+		Mode:         ModeClosed,
+		Seed:         11,
+		ClusterNodes: 3,
+		NodeKill:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("failed UEs %d, errors %v", rep.FailedUEs, rep.Errors)
+	}
+	if rep.LostSamples != 0 {
+		t.Fatalf("lost %d samples through the node kill (sent %d, predictions %d)",
+			rep.LostSamples, rep.Samples, rep.Predictions)
+	}
+	if rep.NodeKills != 1 {
+		t.Fatalf("node kills %d, want 1", rep.NodeKills)
+	}
+	if rep.Server == nil {
+		t.Fatal("crash run lost the aggregate snapshot")
+	}
+	if rep.Server.SessionErrors != 0 {
+		t.Fatalf("cluster counted %d session errors through the kill (errors %v)",
+			rep.Server.SessionErrors, rep.Errors)
+	}
+	// The kill config forces a replication interval, so the loop must
+	// have shipped state whether or not any session needed it.
+	if rep.ReplicationPushes == 0 {
+		t.Error("node-kill run recorded no replication pushes — the loop never ran")
+	}
+	if rep.ReplicationBytes == 0 {
+		t.Error("replication pushed zero bytes")
+	}
+	// Sessions that did fail over must have resumed warm.
+	if rep.ResumedSessions > 0 && rep.WarmResumeRatio < 0.9 {
+		t.Errorf("warm resume ratio %.2f (resumed %d, cold %d), want >= 0.9",
+			rep.WarmResumeRatio, rep.ResumedSessions, rep.ColdResumes)
+	}
+	var kills int
+	for _, n := range rep.PerNode {
+		kills += n.Kills
+	}
+	if kills != 1 {
+		t.Errorf("per-node kill sum %d, want 1", kills)
+	}
+}
+
 // TestFleetClusterExternalAddrs exercises the Addrs path: the servers are
 // "external" (a rig the fleet run does not own), the UEs route over their
 // own ring built from the member list, and per-node stats come from each
@@ -157,6 +215,8 @@ func TestFleetClusterConfigErrors(t *testing.T) {
 		{ClusterNodes: 2, Chaos: &chaos.Config{}},
 		{RollingRestart: true},
 		{RollingRestart: true, Addrs: []string{"a:1", "b:2"}},
+		{NodeKill: true},
+		{NodeKill: true, RollingRestart: true, ClusterNodes: 3},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg); err == nil {

@@ -93,6 +93,15 @@ type Config struct {
 	// staggered evenly across the run. The acceptance bar is the same as
 	// chaos: zero lost samples.
 	RollingRestart bool
+	// NodeKill, in ClusterNodes mode, hard-crashes node 0 halfway through
+	// the load window — listener closed, every connection RST, no drain —
+	// and revives it a quarter-window later with no local state. Survival
+	// rests entirely on the async replication layer: the failure detector
+	// confirms the node down, successors promote its sessions from their
+	// replica tables, and anti-entropy re-warms the revived node. Defaults
+	// Server.ReplicationInterval to 100ms when unset. Mutually exclusive
+	// with RollingRestart (both workloads steer the same nodes).
+	NodeKill bool
 	// UEs is the fleet size (default 8).
 	UEs int
 	// Duration is how long each UE streams (default 10s).
@@ -182,6 +191,12 @@ func (c Config) withDefaults() Config {
 	// cut sessions can resume.
 	if c.ClusterNodes > 1 && c.Server.ResumeGrace == 0 {
 		c.Server.ResumeGrace = 5 * time.Second
+	}
+	// A node-kill run is only survivable with replication streaming warm
+	// state ahead of the crash; 100ms keeps the staleness bound (two
+	// intervals + ship latency) well under the default resume grace.
+	if c.NodeKill && c.Server.ReplicationInterval == 0 {
+		c.Server.ReplicationInterval = 100 * time.Millisecond
 	}
 	return c
 }
@@ -274,14 +289,23 @@ type Report struct {
 	// states and payload bytes the cluster moved (server-side, outbound);
 	// WarmResumeRatio is resumed/(resumed+cold) across the fleet — the
 	// zero-loss acceptance bar wants it near 1.
-	Addrs            []string     `json:"addrs,omitempty"`
-	ClusterSize      int          `json:"cluster_size,omitempty"`
-	RollingRestarts  int          `json:"rolling_restarts,omitempty"`
-	Redirects        int64        `json:"redirects,omitempty"`
-	MigratedSessions int64        `json:"migrated_sessions,omitempty"`
-	MigrationBytes   int64        `json:"migration_bytes,omitempty"`
-	WarmResumeRatio  float64      `json:"warm_resume_ratio,omitempty"`
-	PerNode          []NodeReport `json:"per_node,omitempty"`
+	Addrs            []string `json:"addrs,omitempty"`
+	ClusterSize      int      `json:"cluster_size,omitempty"`
+	RollingRestarts  int      `json:"rolling_restarts,omitempty"`
+	Redirects        int64    `json:"redirects,omitempty"`
+	MigratedSessions int64    `json:"migrated_sessions,omitempty"`
+	MigrationBytes   int64    `json:"migration_bytes,omitempty"`
+	WarmResumeRatio  float64  `json:"warm_resume_ratio,omitempty"`
+	// Crash-fault fields (Config.NodeKill). NodeKills counts hard node
+	// crashes the run inflicted; Failovers the sessions peers promoted from
+	// replicated state; ReplicationPushes/ReplicationBytes the async
+	// replication passes and payload the cluster shipped (server-side,
+	// outbound).
+	NodeKills         int          `json:"node_kills,omitempty"`
+	Failovers         int64        `json:"failovers,omitempty"`
+	ReplicationPushes int64        `json:"replication_pushes,omitempty"`
+	ReplicationBytes  int64        `json:"replication_bytes,omitempty"`
+	PerNode           []NodeReport `json:"per_node,omitempty"`
 	// PredictionsPerSec is the fleet-wide serving throughput over the
 	// load phase.
 	PredictionsPerSec float64 `json:"predictions_per_sec"`
@@ -368,6 +392,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.RollingRestart && cfg.ClusterNodes <= 1 {
 		return nil, fmt.Errorf("fleet: RollingRestart requires an in-process cluster (ClusterNodes > 1)")
+	}
+	if cfg.NodeKill && cfg.ClusterNodes <= 1 {
+		return nil, fmt.Errorf("fleet: NodeKill requires an in-process cluster (ClusterNodes > 1)")
+	}
+	if cfg.NodeKill && cfg.RollingRestart {
+		return nil, fmt.Errorf("fleet: NodeKill and RollingRestart are mutually exclusive")
 	}
 
 	addr := cfg.Addr
@@ -523,6 +553,32 @@ func Run(cfg Config) (*Report, error) {
 	} else {
 		close(restartDone)
 	}
+	// The node-kill workload: crash node 0 cold at the midpoint of the load
+	// window, leave it dead for a quarter window (long enough for the
+	// failure detector to confirm it and every affected UE to fail over),
+	// then revive it empty so anti-entropy has load time left to re-warm it.
+	var kills atomic.Int64
+	killDone := make(chan struct{})
+	if cfg.NodeKill && rig != nil {
+		go func() {
+			defer close(killDone)
+			due := loadStart.Add(cfg.Duration / 2)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			rig.kill(0)
+			kills.Add(1)
+			due = due.Add(cfg.Duration / 4)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			if err := rig.revive(0); err != nil {
+				addErr(fmt.Errorf("reviving killed node 0: %w", err))
+			}
+		}()
+	} else {
+		close(killDone)
+	}
 	for i := 0; i < cfg.UEs; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -552,6 +608,7 @@ func Run(cfg Config) (*Report, error) {
 	wg.Wait()
 	loadWall := time.Since(loadStart)
 	<-restartDone
+	<-killDone
 
 	rep := &Report{
 		UEs:        cfg.UEs,
@@ -598,6 +655,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.ClusterSize = clientRing.Size()
 		rep.Redirects = tot.redirects.Load()
 		rep.RollingRestarts = int(restarts.Load())
+		rep.NodeKills = int(kills.Load())
 	}
 	if denom := tot.resumed.Load() + tot.cold.Load(); denom > 0 {
 		rep.WarmResumeRatio = float64(tot.resumed.Load()) / float64(denom)
@@ -608,6 +666,9 @@ func Run(cfg Config) (*Report, error) {
 		rep.Server = &agg
 		rep.MigratedSessions = agg.MigratedOut
 		rep.MigrationBytes = agg.MigrationBytesOut
+		rep.Failovers = agg.Failovers
+		rep.ReplicationPushes = agg.ReplicationPushes
+		rep.ReplicationBytes = agg.ReplicationBytesOut
 		for _, n := range rig.nodes {
 			rep.PerNode = append(rep.PerNode, nodeReport(n))
 		}

@@ -175,6 +175,14 @@ type ServerStats struct {
 	migrationPasses   atomic.Int64
 	migrationLastUS   atomic.Int64
 
+	replicationPushes    atomic.Int64
+	replicationBytesOut  atomic.Int64
+	replicationBytesIn   atomic.Int64
+	replicationLastPushU atomic.Int64 // unix µs of the last outbound push
+	replicaSessions      atomic.Int64
+	peerSuspects         atomic.Int64
+	failovers            atomic.Int64
+
 	latency Histogram
 }
 
@@ -265,6 +273,34 @@ func (s *ServerStats) MigrationShipped(bytes int64, d time.Duration) {
 }
 func (s *ServerStats) MigrationReceived(bytes int64) { s.migrationBytesIn.Add(bytes) }
 
+// ReplicationPushed records one outbound async replication pass shipping
+// n payload bytes to ring successors; the push timestamp feeds the
+// replication-lag gauge. ReplicationReceived records inbound replica
+// payload bytes installed from a peer.
+func (s *ServerStats) ReplicationPushed(bytes int64) {
+	s.replicationPushes.Add(1)
+	s.replicationBytesOut.Add(bytes)
+	s.replicationLastPushU.Store(time.Now().UnixMicro())
+}
+func (s *ServerStats) ReplicationReceived(bytes int64) { s.replicationBytesIn.Add(bytes) }
+
+// ReplicaStored / ReplicaDropped move the replica-session gauge: the
+// number of peer session states held passively for crash failover. The
+// gauge is deliberately separate from the parked-session gauge so a token
+// that exists both locally and as a replica is never double-counted in
+// prognos_parked_sessions.
+func (s *ServerStats) ReplicaStored() int64  { return s.replicaSessions.Add(1) }
+func (s *ServerStats) ReplicaDropped() int64 { return s.replicaSessions.Add(-1) }
+
+// PeerSuspected / PeerRecovered move the suspect-peer gauge maintained by
+// the failure detector.
+func (s *ServerStats) PeerSuspected() int64 { return s.peerSuspects.Add(1) }
+func (s *ServerStats) PeerRecovered() int64 { return s.peerSuspects.Add(-1) }
+
+// Failover records one session promoted from replicated state after its
+// ring owner was confirmed down.
+func (s *ServerStats) Failover() { s.failovers.Add(1) }
+
 // ObserveLatency records one request's server-side serving latency (for
 // the prediction path: sample decode through response flush).
 func (s *ServerStats) ObserveLatency(d time.Duration) { s.latency.Observe(d) }
@@ -300,8 +336,31 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		MigrationPasses:   s.migrationPasses.Load(),
 		MigrationLastUS:   s.migrationLastUS.Load(),
 
+		ReplicationPushes:   s.replicationPushes.Load(),
+		ReplicationBytesOut: s.replicationBytesOut.Load(),
+		ReplicationBytesIn:  s.replicationBytesIn.Load(),
+		ReplicationLagUS:    s.replicationLag(),
+		ReplicaSessions:     s.replicaSessions.Load(),
+		PeerSuspects:        s.peerSuspects.Load(),
+		Failovers:           s.failovers.Load(),
+
 		Latency: s.latency.Snapshot(),
 	}
+}
+
+// replicationLag is the age of the last outbound replication push in
+// microseconds — the bounded-staleness gauge: a crash of this node loses
+// at most the samples accumulated over this window. Zero until the first
+// push (replication off, or not yet started).
+func (s *ServerStats) replicationLag() int64 {
+	last := s.replicationLastPushU.Load()
+	if last <= 0 {
+		return 0
+	}
+	if lag := time.Now().UnixMicro() - last; lag > 0 {
+		return lag
+	}
+	return 0
 }
 
 // ServerSnapshot is the JSON shape of a ServerStats export: what prognosd
@@ -354,6 +413,22 @@ type ServerSnapshot struct {
 	MigrationBytesIn  int64 `json:"migration_bytes_in"`
 	MigrationPasses   int64 `json:"migration_passes"`
 	MigrationLastUS   int64 `json:"migration_last_us"`
+	// Crash-fault tolerance counters. ReplicationPushes counts outbound
+	// async replication passes and ReplicationBytesOut/In the replica
+	// payload bytes moved; ReplicationLagUS is the age of the most recent
+	// outbound push (the bounded-staleness window — what a crash of this
+	// node can lose). ReplicaSessions gauges the peer session states held
+	// passively for failover (never folded into Parked), PeerSuspects the
+	// ring peers the failure detector currently believes down, and
+	// Failovers counts sessions promoted from replicated state after a
+	// confirmed owner crash.
+	ReplicationPushes   int64 `json:"replication_pushes"`
+	ReplicationBytesOut int64 `json:"replication_bytes_out"`
+	ReplicationBytesIn  int64 `json:"replication_bytes_in"`
+	ReplicationLagUS    int64 `json:"replication_lag_us"`
+	ReplicaSessions     int64 `json:"replica_sessions"`
+	PeerSuspects        int64 `json:"peer_suspects"`
+	Failovers           int64 `json:"failovers"`
 	// Latency is the server-side per-sample serving latency histogram
 	// (decode through response flush), the source of the ops plane's
 	// prognos_request_latency_seconds series.

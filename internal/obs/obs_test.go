@@ -149,6 +149,14 @@ func TestServerMetricsRoundTrip(t *testing.T) {
 		MigrationBytesIn:   1024,
 		MigrationPasses:    1,
 		MigrationLastUS:    1_500_000,
+
+		ReplicationPushes:   11,
+		ReplicationBytesOut: 8192,
+		ReplicationBytesIn:  512,
+		ReplicationLagUS:    250_000,
+		ReplicaSessions:     5,
+		PeerSuspects:        1,
+		Failovers:           2,
 	}
 	r := obs.NewRegistry()
 	obs.RegisterServerMetrics(r, func() metrics.ServerSnapshot { return snap })
@@ -187,6 +195,13 @@ func TestServerMetricsRoundTrip(t *testing.T) {
 		"prognos_migration_bytes_in_total":                  1024,
 		"prognos_migration_passes_total":                    1,
 		"prognos_migration_last_seconds":                    1.5,
+		"prognos_replication_pushes_total":                  11,
+		"prognos_replication_bytes_total":                   8192,
+		"prognos_replication_bytes_in_total":                512,
+		"prognos_replication_lag_seconds":                   0.25,
+		"prognos_replica_sessions":                          5,
+		"prognos_peer_suspect":                              1,
+		"prognos_failovers_total":                           2,
 		"prognos_request_latency_seconds_count":             0,
 		`prognos_request_latency_seconds_bucket{le="+Inf"}`: 0,
 	} {

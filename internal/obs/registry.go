@@ -302,6 +302,21 @@ func RegisterServerMetrics(r *Registry, snap func() metrics.ServerSnapshot) {
 		func(s metrics.ServerSnapshot) int64 { return s.MigrationPasses })
 	r.Gauge("prognos_migration_last_seconds", "Duration of the most recent outbound migration pass.",
 		func() float64 { return float64(snap().MigrationLastUS) / 1e6 })
+	counter("prognos_replication_pushes_total", "Outbound async warm-state replication passes completed.",
+		func(s metrics.ServerSnapshot) int64 { return s.ReplicationPushes })
+	counter("prognos_replication_bytes_total", "Replication payload bytes shipped to ring successors.",
+		func(s metrics.ServerSnapshot) int64 { return s.ReplicationBytesOut })
+	counter("prognos_replication_bytes_in_total", "Replication payload bytes received from peer nodes.",
+		func(s metrics.ServerSnapshot) int64 { return s.ReplicationBytesIn })
+	r.Gauge("prognos_replication_lag_seconds",
+		"Age of the most recent outbound replication push: the bounded-staleness window a crash of this node can lose.",
+		func() float64 { return float64(snap().ReplicationLagUS) / 1e6 })
+	gauge("prognos_replica_sessions", "Peer session states held passively for crash failover.",
+		func(s metrics.ServerSnapshot) int64 { return s.ReplicaSessions })
+	gauge("prognos_peer_suspect", "Ring peers the failure detector currently holds down.",
+		func(s metrics.ServerSnapshot) int64 { return s.PeerSuspects })
+	counter("prognos_failovers_total", "Sessions promoted from replicated state after a confirmed owner crash.",
+		func(s metrics.ServerSnapshot) int64 { return s.Failovers })
 	r.Histogram("prognos_request_latency_seconds",
 		"Server-side per-sample serving latency (OnSample through response flush).",
 		func() metrics.LatencySnapshot { return snap().Latency })

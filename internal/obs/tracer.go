@@ -36,6 +36,13 @@ const (
 	// installed from a peer's shipment.
 	EvMigrateOut = "migrate_out"
 	EvMigrateIn  = "migrate_in"
+	// EvPeerDown / EvPeerUp are failure-detector transitions: a ring peer
+	// confirmed down after consecutive missed probes, and its later
+	// recovery. EvFailover is one session promoted from replicated state
+	// after its owner was confirmed down.
+	EvPeerDown = "peer_down"
+	EvPeerUp   = "peer_up"
+	EvFailover = "failover"
 )
 
 // Event is one structured trace record. Seq and WallNS are assigned by

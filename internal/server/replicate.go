@@ -1,0 +1,429 @@
+// Crash-fault tolerance, server side. Where migrate.go moves warm state
+// deliberately (a drain), this file moves it preemptively: every
+// ReplicationInterval the node pushes its live-session resume states,
+// parked sessions and warm context snapshots to the ring successor that
+// would inherit each token if this node vanished
+// (docs/PROTOCOL.md §Replication frames). The receiver holds session
+// states passively in a replica table — never in the parked table, so
+// prognos_parked_sessions is never double-counted — and promotes one only
+// when the failure detector confirms its origin down. The contract is
+// bounded staleness: a crash loses at most the samples accumulated since
+// the last replication push, never a whole session's learner state
+// (docs/ARCHITECTURE.md §Failure model).
+
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/ran"
+	"repro/internal/wire"
+)
+
+// replicaLiveTail bounds the replay-buffer tail a live session deposits
+// with each partial replication push. It only needs to cover responses
+// that may be in flight to the client at the moment of a crash — the
+// pipelining window plus transport buffering — not the full replayBufCap.
+const replicaLiveTail = 64
+
+// replicaOutbox collects the partial session states live sessions deposit
+// once per replication tick, keyed by token (latest push wins). The
+// replication loop drains it wholesale each pass.
+type replicaOutbox struct {
+	mu sync.Mutex
+	m  map[string]cluster.SessionState
+}
+
+func newReplicaOutbox() *replicaOutbox {
+	return &replicaOutbox{m: make(map[string]cluster.SessionState)}
+}
+
+// put deposits one live session's resume state. Called from the session's
+// own goroutine, so reading the replay buffer needs no synchronization;
+// the copy taken here is what crosses into the replication loop.
+func (o *replicaOutbox) put(token, carrier string, arch cellular.Arch, seq int64, buf *replayBuffer) {
+	var resp []Response
+	if buf != nil {
+		tail := buf.resp
+		if len(tail) > replicaLiveTail {
+			tail = tail[len(tail)-replicaLiveTail:]
+		}
+		resp = append(resp, tail...)
+	}
+	st := cluster.SessionState{
+		Token:     token,
+		Carrier:   carrier,
+		Arch:      arch,
+		Seq:       seq,
+		Responses: resp,
+		Partial:   true,
+	}
+	o.mu.Lock()
+	o.m[token] = st
+	o.mu.Unlock()
+}
+
+// drain swaps out and returns everything deposited since the last drain.
+func (o *replicaOutbox) drain() map[string]cluster.SessionState {
+	o.mu.Lock()
+	m := o.m
+	o.m = make(map[string]cluster.SessionState, len(m))
+	o.mu.Unlock()
+	return m
+}
+
+// replicaEntry is one peer session state held for failover.
+type replicaEntry struct {
+	st      cluster.SessionState
+	origin  string
+	expires time.Time
+}
+
+// replicaStore holds replicated peer session states, keyed by token,
+// latest push wins. Deliberately separate from the parked table: replicas
+// are passive (never resumed directly, never counted in the parked
+// gauge) until a confirmed owner failure promotes them.
+type replicaStore struct {
+	mu sync.Mutex
+	m  map[string]*replicaEntry
+}
+
+func newReplicaStore() *replicaStore {
+	return &replicaStore{m: make(map[string]*replicaEntry)}
+}
+
+// install stores st, refreshing expiry; it reports whether the token is
+// new to the table (the gauge increment signal).
+func (r *replicaStore) install(st cluster.SessionState, origin string, expires time.Time) (fresh bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, exists := r.m[st.Token]
+	r.m[st.Token] = &replicaEntry{st: st, origin: origin, expires: expires}
+	return !exists
+}
+
+// take removes and returns the replica for token, or nil.
+func (r *replicaStore) take(token string) *replicaEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[token]
+	if !ok {
+		return nil
+	}
+	delete(r.m, token)
+	return e
+}
+
+// sweep drops every replica past its expiry and returns how many fell.
+func (r *replicaStore) sweep(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for token, e := range r.m {
+		if now.After(e.expires) {
+			delete(r.m, token)
+			n++
+		}
+	}
+	return n
+}
+
+// size returns the current replica count (tests).
+func (r *replicaStore) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// serveReplication runs the receiving side of one replication stream:
+// binary framing only, FrameReplicate in, FrameReplicateAck out, one ack
+// per state in order — serveMigration's choreography with two deliberate
+// differences. States land in the replica table instead of the parked
+// table, and transport faults mid-stream are interruptions, not session
+// errors: the shipper may be a node dying mid-push, and a crash already
+// under way must not inflate this node's error counters.
+func (s *Server) serveReplication(hello *Hello, br *bufio.Reader, w *bufio.Writer, framing wire.Framing) (codec, error) {
+	if s.opts.Cluster == nil {
+		return nil, errors.New("server: replication stream on a non-clustered server")
+	}
+	if framing != wire.FramingBinary {
+		return nil, errors.New("server: replication streams require the binary framing")
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(wire.FramingAck{
+		FramingAck:  true,
+		Framing:     wire.FramingBinary,
+		WireVersion: wire.ProtocolVersion,
+	}); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	cdc := newBinaryCodec(br, w)
+	fr, fw := cdc.fr, cdc.fw
+	var seq int64
+	for {
+		typ, p, err := fr.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return cdc, w.Flush()
+			}
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				return cdc, err
+			}
+			return cdc, errInterrupted
+		}
+		if typ != wire.FrameReplicate {
+			return cdc, fmt.Errorf("server: unexpected frame type 0x%02x in replication stream", typ)
+		}
+		seq++
+		s.stats.ReplicationReceived(int64(len(p)))
+		var st cluster.SessionState
+		ok := json.Unmarshal(p, &st) == nil && s.installReplica(st, hello.Node) == nil
+		if err := fw.WriteReplicateAck(wire.MigrateAck{OK: ok, Seq: seq}); err != nil {
+			return cdc, errInterrupted
+		}
+		if fr.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return cdc, errInterrupted
+			}
+		}
+	}
+}
+
+// installReplica folds one pushed state into this node's passive stores:
+// context snapshots into the warm store (exactly as migration does),
+// session states into the replica table with a fresh expiry.
+func (s *Server) installReplica(st cluster.SessionState, origin string) error {
+	if st.Version > cluster.SessionStateVersion {
+		return fmt.Errorf("server: replicated state version %d is newer than %d", st.Version, cluster.SessionStateVersion)
+	}
+	if st.Carrier == "" {
+		return errors.New("server: replicated state without carrier")
+	}
+	if st.Token == "" {
+		s.warm.push(warmKey{carrier: st.Carrier, arch: st.Arch.String()}, "", st.Snapshot)
+		return nil
+	}
+	if s.opts.ResumeGrace <= 0 {
+		return errors.New("server: resume disabled, cannot hold replica")
+	}
+	if fresh := s.replicas.install(st, origin, time.Now().Add(s.opts.ResumeGrace)); fresh {
+		s.stats.ReplicaStored()
+	}
+	return nil
+}
+
+// promoteReplica turns a held replica into parked state this node can
+// serve: the failover moment. Partial states (live-session pushes) carry
+// no learner snapshot — the learner warm-starts from the separately
+// replicated context snapshot instead — while full states restore
+// exactly. It reports whether a replica existed.
+func (s *Server) promoteReplica(token string) bool {
+	e := s.replicas.take(token)
+	if e == nil {
+		return false
+	}
+	s.stats.ReplicaDropped()
+	st := e.st
+	prog, err := core.New(core.Config{
+		EventConfigs: ran.EventConfigsFor(st.Carrier, st.Arch),
+		Arch:         st.Arch,
+	})
+	if err != nil {
+		return false
+	}
+	if st.Partial {
+		if snap, ok := s.warmSnapshot(st.Carrier, st.Arch); ok {
+			prog.Bootstrap(snap.Learner.Patterns)
+		}
+	} else {
+		prog.Restore(st.Snapshot)
+	}
+	buf := newReplayBuffer(replayBufCap)
+	for _, r := range st.Responses {
+		buf.push(r)
+	}
+	s.park(&parkedSession{
+		token:    token,
+		prog:     prog,
+		seq:      st.Seq,
+		buf:      buf,
+		carrier:  st.Carrier,
+		arch:     st.Arch,
+		migrated: true,
+		replica:  true,
+	})
+	s.stats.Failover()
+	s.opts.Tracer.Emit(obs.Event{
+		Kind:    obs.EvFailover,
+		Session: token,
+		Carrier: st.Carrier,
+		Arch:    st.Arch.String(),
+		RespSeq: st.Seq,
+		Detail:  "replica of " + e.origin,
+	})
+	return true
+}
+
+// failoverTarget decides how to answer a tokened hello whose ring owner
+// is another node and for which this node holds no parked state. Unless
+// the detector has confirmed the owner down, the answer is the standing
+// redirect to the owner. After confirmation, replicated state outranks
+// the ring: promote this node's replica and serve, or — holding none —
+// serve only if this node is the token's failover successor (the owner
+// every surviving node agrees on with the dead member removed, so at most
+// one node adopts an orphan token), redirecting there otherwise.
+func (s *Server) failoverTarget(owner, token string) (serveHere bool, target string) {
+	if s.detector == nil || !s.detector.Down(owner) {
+		return false, owner
+	}
+	if s.promoteReplica(token) {
+		return true, ""
+	}
+	rest, err := s.opts.Cluster.Without(owner)
+	if err != nil {
+		// The dead owner was the only other member; serving cold here
+		// beats redirecting the client at a dead address.
+		return true, ""
+	}
+	if succ := rest.Owner(token); succ != s.opts.NodeAddr {
+		return false, succ
+	}
+	return true, ""
+}
+
+// startDetector wires the failure detector over the ring peers and routes
+// its confirmed transitions into stats and the tracer.
+func (s *Server) startDetector() {
+	var peers []string
+	for _, m := range s.opts.Cluster.Members() {
+		if m != s.opts.NodeAddr {
+			peers = append(peers, m)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	s.detector = cluster.NewDetector(cluster.DetectorConfig{
+		Peers:     peers,
+		Interval:  s.opts.HeartbeatInterval,
+		Threshold: s.opts.SuspectThreshold,
+		OnChange: func(peer string, down bool) {
+			if down {
+				s.stats.PeerSuspected()
+				s.opts.Tracer.Emit(obs.Event{Kind: obs.EvPeerDown, Detail: peer})
+				return
+			}
+			s.stats.PeerRecovered()
+			s.opts.Tracer.Emit(obs.Event{Kind: obs.EvPeerUp, Detail: peer})
+		},
+	})
+	s.detector.Start()
+}
+
+// replicationLoop drives the async replication cadence: each tick bumps
+// repGen — the signal live sessions key their outbox deposits off — and
+// ships everything deposited since the previous tick. A pass therefore
+// carries state at most one interval old, making the end-to-end staleness
+// bound two intervals plus ship latency (docs/ARCHITECTURE.md §Failure
+// model documents the resulting loss bound).
+func (s *Server) replicationLoop() {
+	t := time.NewTicker(s.opts.ReplicationInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.repGen.Add(1)
+			s.replicateOnce()
+		}
+	}
+}
+
+// replicateOnce ships one replication pass: drained live-session states
+// plus a fresh copy of every parked session, each to the ring successor
+// that would own its token without this node, and every warm context
+// snapshot to every peer. Best-effort per target — a failed push costs
+// one interval of staleness, and peers the detector holds down are
+// skipped rather than letting a dead successor stall the pass.
+func (s *Server) replicateOnce() {
+	rest, err := s.opts.Cluster.Without(s.opts.NodeAddr)
+	if err != nil {
+		return // single-member ring: nowhere to replicate
+	}
+	states := s.replOut.drain()
+	now := time.Now()
+	s.parked.forEach(func(p *parkedSession) {
+		if now.After(p.expires) {
+			return
+		}
+		var resp []Response
+		if p.buf != nil {
+			resp = append(resp, p.buf.resp...)
+		}
+		// forEach holds the shard lock, so the entry cannot be unparked
+		// (and its Prognos handed to a session) mid-snapshot.
+		states[p.token] = cluster.SessionState{
+			Token:     p.token,
+			Carrier:   p.carrier,
+			Arch:      p.arch,
+			Seq:       p.seq,
+			Responses: resp,
+			Snapshot:  p.prog.Snapshot(),
+		}
+	})
+	byTarget := make(map[string][]cluster.SessionState)
+	for _, st := range states {
+		target := rest.Owner(st.Token)
+		byTarget[target] = append(byTarget[target], st)
+	}
+	var contexts []cluster.SessionState
+	for k, snap := range s.warm.all() {
+		arch, err := cellular.ParseArch(k.arch)
+		if err != nil {
+			continue
+		}
+		contexts = append(contexts, cluster.SessionState{
+			Carrier:  k.carrier,
+			Arch:     arch,
+			Snapshot: snap,
+		})
+	}
+	timeout := 4 * s.opts.ReplicationInterval
+	if timeout < 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var bytes int64
+	shipped := false
+	for _, target := range rest.Members() {
+		sts := append(byTarget[target], contexts...)
+		if len(sts) == 0 {
+			continue
+		}
+		if s.detector != nil && s.detector.Down(target) {
+			continue
+		}
+		st, err := cluster.ShipReplicas(target, s.opts.NodeAddr, sts, timeout)
+		bytes += st.Bytes
+		if err != nil {
+			continue
+		}
+		shipped = true
+	}
+	if shipped {
+		s.stats.ReplicationPushed(bytes)
+	}
+}

@@ -81,6 +81,14 @@ type parkedSession struct {
 	// parked by a local session; its first resume counts as a migrated
 	// (warm-handoff) resume.
 	migrated bool
+	// replica marks state promoted from the replica table after a
+	// confirmed owner crash. Replicated state may trail the client's
+	// acknowledged cursor by the samples since the origin's last
+	// replication push, so the resume path fast-forwards instead of
+	// cold-starting when the client is ahead (the bounded-staleness
+	// contract; see session). Cleared on re-park: once served live, the
+	// cursor is exact again.
+	replica bool
 }
 
 // park stores a session's warm state for ResumeGrace, evicting the entry
@@ -232,6 +240,9 @@ func (s *Server) housekeeping() {
 			return
 		case now := <-sweepC:
 			s.sweepParked(now)
+			for n := s.replicas.sweep(now); n > 0; n-- {
+				s.stats.ReplicaDropped()
+			}
 		case <-ckptC:
 			s.CheckpointNow()
 		}

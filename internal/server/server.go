@@ -30,9 +30,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -111,6 +113,23 @@ type Options struct {
 	// streams (Hello.Migrate) are accepted whether or not Cluster is set.
 	Cluster  *cluster.Ring
 	NodeAddr string
+	// ReplicationInterval enables async warm-state replication: every
+	// interval the node pushes its live-session resume states, parked
+	// sessions and warm context snapshots to their ring successors
+	// (ShipReplicas, docs/PROTOCOL.md §Replication frames), so a crash of
+	// this node loses at most the samples accumulated since the last push
+	// — never a whole session's learner state (docs/ARCHITECTURE.md
+	// §Failure model). 0 disables replication. Requires Cluster.
+	ReplicationInterval time.Duration
+	// HeartbeatInterval is the failure-detector probe cadence against the
+	// other ring members. Defaults to 50ms when ReplicationInterval is
+	// set, 0 (off) otherwise; < 0 forces it off. Without a running
+	// detector replicas are held but never promoted: confirmed failure is
+	// the only signal that lets replica state outrank the ring.
+	HeartbeatInterval time.Duration
+	// SuspectThreshold is the consecutive failed probes that confirm a
+	// peer down (default 2).
+	SuspectThreshold int
 }
 
 // withDefaults fills the backoff bounds and the resilience defaults.
@@ -126,6 +145,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointDir != "" && o.CheckpointInterval <= 0 {
 		o.CheckpointInterval = 10 * time.Second
+	}
+	if o.Cluster == nil {
+		o.ReplicationInterval = 0
+	}
+	if o.ReplicationInterval > 0 && o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if o.HeartbeatInterval < 0 || o.Cluster == nil {
+		o.HeartbeatInterval = 0
+	}
+	if o.SuspectThreshold <= 0 {
+		o.SuspectThreshold = 2
 	}
 	return o
 }
@@ -147,6 +178,15 @@ type Server struct {
 	// part in s.mu's ordering.
 	parked *parkedTable
 	warm   *warmStore
+
+	// Crash-fault tolerance (replicate.go). replicas holds peer session
+	// states for failover; replOut is the outbox live sessions deposit
+	// their resume state into, once per repGen bump (the replication
+	// ticker's generation counter); detector confirms peer failures.
+	replicas *replicaStore
+	replOut  *replicaOutbox
+	repGen   atomic.Int64
+	detector *cluster.Detector
 
 	wg       sync.WaitGroup
 	done     chan struct{}
@@ -181,20 +221,28 @@ func Serve(ln net.Listener, opts Options) *Server {
 // the accept loop (tests drive acceptLoop directly against stub listeners).
 func newServer(ln net.Listener, opts Options) *Server {
 	s := &Server{
-		ln:     ln,
-		opts:   opts.withDefaults(),
-		stats:  metrics.NewServerStats(),
-		sleep:  time.Sleep,
-		conns:  make(map[net.Conn]struct{}),
-		parked: newParkedTable(),
-		warm:   newWarmStore(),
-		done:   make(chan struct{}),
+		ln:       ln,
+		opts:     opts.withDefaults(),
+		stats:    metrics.NewServerStats(),
+		sleep:    time.Sleep,
+		conns:    make(map[net.Conn]struct{}),
+		parked:   newParkedTable(),
+		warm:     newWarmStore(),
+		replicas: newReplicaStore(),
+		replOut:  newReplicaOutbox(),
+		done:     make(chan struct{}),
 	}
 	if s.opts.CheckpointDir != "" {
 		s.restoreCheckpoints()
 	}
 	if s.opts.ResumeGrace > 0 || s.opts.CheckpointDir != "" {
 		go s.housekeeping()
+	}
+	if s.opts.ReplicationInterval > 0 {
+		go s.replicationLoop()
+	}
+	if s.opts.HeartbeatInterval > 0 {
+		s.startDetector()
 	}
 	return s
 }
@@ -225,6 +273,9 @@ func (s *Server) stopAccept() {
 	s.stopOnce.Do(func() {
 		close(s.done)
 		s.closeErr = s.ln.Close()
+		if s.detector != nil {
+			s.detector.Stop()
+		}
 	})
 }
 
@@ -239,6 +290,22 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return s.closeErr
+}
+
+// Kill tears the server down the way a crash does: accepting stops, every
+// active conn is RST-closed mid-flight (SO_LINGER 0, the signature of a
+// dead process as the peer sees it), and nothing is drained, migrated or
+// checkpointed — whatever state only this node held dies with it. The
+// node-kill chaos mode uses this to prove the cluster's replication path
+// bounds that loss (docs/ARCHITECTURE.md §Failure model).
+func (s *Server) Kill() {
+	s.stopAccept()
+	s.mu.Lock()
+	for c := range s.conns {
+		chaos.RSTClose(c)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 }
 
 // Drain gracefully shuts the server down: it stops accepting new sessions
@@ -559,7 +626,13 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 	helloLine, err := wire.ReadLine(br, maxLineBytes)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, errors.New("server: no hello")
+			// A connection that closes before sending a single byte never
+			// spoke the protocol at all: an aborted dial (a peer's failure-
+			// detector probe timing out in the accept backlog), a port scan,
+			// a load balancer's TCP health check. Churn, not a session error
+			// — counting it would let a busy accept loop inflate the error
+			// gauges the crash gates watch.
+			return nil, errInterrupted
 		}
 		return nil, fmt.Errorf("server: reading hello: %w", err)
 	}
@@ -586,15 +659,25 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 		// counters — it is control plane, not serving load.
 		return s.serveMigration(&hello, br, w, framing)
 	}
+	if hello.Replicate {
+		// Node-to-node async replication stream: control plane too.
+		return s.serveReplication(&hello, br, w, framing)
+	}
 	if s.opts.Cluster != nil && hello.SessionToken != "" {
 		// Ownership check, before the slot claim so redirects cost
 		// nothing. The parked-state exception is the sticky-session rule:
 		// state migrated here (or parked here) outranks the ring, so a
 		// drained-and-restarted origin node never bounces a session back
-		// and forth.
+		// and forth. When the owner is confirmed down by the failure
+		// detector, replicated state outranks the ring instead: the
+		// failover path promotes this node's replica (or redirects to the
+		// token's failover successor) rather than bouncing the client off
+		// a dead address (docs/ARCHITECTURE.md §Failure model).
 		owner := s.opts.Cluster.Owner(hello.SessionToken)
 		if owner != s.opts.NodeAddr && !s.parked.has(hello.SessionToken, time.Now()) {
-			return nil, &redirectError{owner: owner}
+			if serveHere, target := s.failoverTarget(owner, hello.SessionToken); !serveHere {
+				return nil, &redirectError{owner: target}
+			}
 		}
 	}
 	if !s.acquireSlot() {
@@ -640,8 +723,32 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 	)
 	resumed := false
 	if resumable {
-		if p := s.unpark(hello.SessionToken); p != nil {
-			if rs, ok := p.buf.after(hello.LastSeq, p.seq); ok {
+		p := s.unpark(hello.SessionToken)
+		if p == nil && s.promoteReplica(hello.SessionToken) {
+			// Anti-entropy resume: this node holds the token only as a
+			// passive replica — it is a revived owner whose successor pushed
+			// the state back, or a failover successor whose detector-gated
+			// promotion already ran above. Every redirect decision is behind
+			// us, so a replica here is state this node is entitled to serve;
+			// promote it rather than cold-start next to warm state.
+			p = s.unpark(hello.SessionToken)
+		}
+		if p != nil {
+			rs, ok := p.buf.after(hello.LastSeq, p.seq)
+			if !ok && p.replica && hello.LastSeq > p.seq {
+				// Promoted replica trailing the client's cursor: the origin
+				// died after acknowledging samples the last replication push
+				// didn't carry. Fast-forward the cursor to the client's —
+				// those samples' learning died with the origin (the bounded-
+				// staleness contract), but the stream itself resumes exactly
+				// where the client left off, so no acknowledged sample is
+				// re-asked or lost. The replay buffer's entries all predate
+				// the new cursor, so it restarts empty.
+				p.seq = hello.LastSeq
+				p.buf = newReplayBuffer(replayBufCap)
+				rs, ok = nil, true
+			}
+			if ok {
 				prog, seq, buf, replay = p.prog, p.seq, p.buf, rs
 				resumed = true
 				s.stats.SessionResumed()
@@ -728,6 +835,12 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 	}
 
 	samplesSinceWarm := 0
+	// Live-session replication: once per replication tick (observed as a
+	// repGen bump, one atomic load per sample) the session deposits its
+	// resume state into the outbox from its own goroutine — no cross-
+	// goroutine snapshotting, no lock on the hot path.
+	replicating := resumable && s.opts.ReplicationInterval > 0
+	var lastRepGen int64
 	var rec Record
 	for {
 		if err := cdc.ReadRecord(&rec); err != nil {
@@ -816,6 +929,12 @@ func (s *Server) session(br *bufio.Reader, w *bufio.Writer) (codec, error) {
 			if samplesSinceWarm++; samplesSinceWarm >= warmPushEvery {
 				samplesSinceWarm = 0
 				s.pushWarm(hello.Carrier, hello.Arch, hello.SessionToken, prog.Snapshot())
+			}
+			if replicating {
+				if gen := s.repGen.Load(); gen != lastRepGen {
+					lastRepGen = gen
+					s.replOut.put(hello.SessionToken, hello.Carrier, hello.Arch, seq, buf)
+				}
 			}
 		}
 	}

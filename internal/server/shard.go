@@ -245,6 +245,21 @@ func (t *parkedTable) drainAll() []*parkedSession {
 	return out
 }
 
+// forEach calls fn on every parked session, one shard lock at a time. fn
+// runs under the shard mutex, so an entry cannot be unparked (and its
+// Prognos instance handed to a live session) while fn reads it — the
+// replication pass snapshots parked state through this.
+func (t *parkedTable) forEach(fn func(*parkedSession)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.m {
+			fn(p)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // remove unparks and returns the session for token, or nil.
 func (t *parkedTable) remove(token string) *parkedSession {
 	sh := t.shard(token)

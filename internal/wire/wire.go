@@ -103,6 +103,14 @@ type Hello struct {
 	// FrameMigrate/FrameMigrateAck frames. Node names the shipping node.
 	Migrate bool   `json:"migrate,omitempty"`
 	Node    string `json:"node,omitempty"`
+	// Replicate, when true, turns the session into a node-to-node async
+	// replication stream (docs/PROTOCOL.md §Replication frames): the peer
+	// is another prognosd pushing warm snapshots and session states for
+	// passive safekeeping on this node — the crash-fault successor copy,
+	// not a drain handoff. Replication streams require the binary framing
+	// and exchange FrameReplicate/FrameReplicateAck frames; Node names
+	// the shipping node, as for Migrate.
+	Replicate bool `json:"replicate,omitempty"`
 }
 
 // FramingAck is the JSONL line a server sends in answer to a hello that

@@ -10,8 +10,11 @@
 // -fleet-closed merges a second report under "fleet_closed" — the
 // closed-loop peak-capacity run (binary framing, pipelining window; see
 // EXPERIMENTS.md §Binary vs JSONL framing) whose predictions_per_sec is
-// the serving path's headline number — and -fleet-cluster merges the
-// 3-node cluster pass under "fleet_cluster". One BENCH_<date>.json thus
+// the serving path's headline number — -fleet-cluster merges the
+// 3-node cluster pass under "fleet_cluster", and -fleet-crash the
+// node-kill crash pass (cmd/prognosload -node-kill: failovers,
+// replication pushes/bytes, warm-resume ratio through a hard node crash)
+// under "fleet_crash". One BENCH_<date>.json thus
 // tracks the sim substrate and the serving path side by side. Chaos-run reports
 // carry their resilience counters
 // (lost_samples, reconnects, resumed_sessions, cold_resumes, chaos_seed,
@@ -59,6 +62,9 @@ type File struct {
 	Fleet        *fleet.Report `json:"fleet,omitempty"`
 	FleetClosed  *fleet.Report `json:"fleet_closed,omitempty"`
 	FleetCluster *fleet.Report `json:"fleet_cluster,omitempty"`
+	// FleetCrash is the node-kill crash-fault pass via -fleet-crash: one
+	// node hard-killed mid-load, sessions failed over from replicated state.
+	FleetCrash *fleet.Report `json:"fleet_crash,omitempty"`
 	// PolicySweep is the carrier-policy portfolio sweep report merged in
 	// via -sweep (a `vivisect sweep -report` file): convergence and
 	// re-convergence statistics over a generated carrier population.
@@ -84,6 +90,7 @@ func main() {
 	fleetPath := flag.String("fleet", "", "merge a cmd/prognosload -report JSON file into the envelope")
 	fleetClosedPath := flag.String("fleet-closed", "", "merge a closed-loop -report JSON file under fleet_closed")
 	fleetClusterPath := flag.String("fleet-cluster", "", "merge a multi-node cluster -report JSON file under fleet_cluster")
+	fleetCrashPath := flag.String("fleet-crash", "", "merge a node-kill crash -report JSON file under fleet_crash")
 	sweepPath := flag.String("sweep", "", "merge a `vivisect sweep -report` JSON file under policy_sweep")
 	flag.Parse()
 
@@ -101,6 +108,9 @@ func main() {
 	}
 	if *fleetClusterPath != "" {
 		out.FleetCluster = loadFleetReport(*fleetClusterPath)
+	}
+	if *fleetCrashPath != "" {
+		out.FleetCrash = loadFleetReport(*fleetCrashPath)
 	}
 	if *sweepPath != "" {
 		rep, err := metrics.ReadSweepFile(*sweepPath)
