@@ -1,6 +1,6 @@
 # Development targets; CI runs `make ci` (see .github/workflows/ci.yml).
 
-.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster crashtest sweep
+.PHONY: ci check race test cover bench bench-json loadtest chaos protocol-compat cluster crashtest sweep holoop
 
 # CI umbrella: everything the merge gate needs, cheapest signal first.
 ci: check race cover
@@ -20,6 +20,7 @@ check:
 	$(MAKE) cluster
 	$(MAKE) crashtest
 	$(MAKE) sweep
+	$(MAKE) holoop
 
 # Race-enabled short suite: guards the parallel experiment engine. The
 # experiments package trims to a fast experiment subset under the race
@@ -106,6 +107,19 @@ sweep:
 	go run -race ./cmd/vivisect sweep -carriers $(SWEEP_CARRIERS) -drift \
 		-seed 1 -drive-seconds 120 -jobs 4
 
+# Closed-loop smoke: the adaptive-vs-static handover comparison as a
+# first-class gated scenario, under the race detector. 64 UEs drive the
+# city reference loop twice each (identical seed per pair — static
+# baseline vs prediction-driven adaptive control); -gate makes vivisect
+# exit non-zero unless the adaptive arm's fleet-aggregate ping-pong rate
+# is strictly below the static arm's while its in-loop prediction F1
+# stays within the epsilon of the offline-replay baseline
+# (EXPERIMENTS.md §Closed-loop adaptive handover).
+HOLOOP_UES ?= 64
+holoop:
+	go run -race ./cmd/vivisect holoop -ues $(HOLOOP_UES) \
+		-seed 1 -drive-seconds 120 -gate
+
 # Perf trajectory tracking: run the substrate micro-benchmarks plus two
 # serving-path fleets and commit the result as BENCH_<utc-date>.json
 # (see docs/ARCHITECTURE.md §Performance for how to read and compare the
@@ -118,7 +132,9 @@ sweep:
 # pushes/bytes, warm-resume ratio through a hard node crash).
 # A policy sweep (100 generated carriers with mid-run drift; see
 # EXPERIMENTS.md §Policy sweeps) lands under "policy_sweep", so the F1
-# floor and re-convergence numbers are tracked commit over commit too.
+# floor and re-convergence numbers are tracked commit over commit too,
+# and the adaptive-vs-static closed-loop comparison (vivisect holoop)
+# under "ho_adaptive", so the ping-pong reduction is as well.
 # `date -u` pins the filename to UTC so a nightly run names the same file
 # no matter which timezone the runner happens to be in.
 BENCH_PATTERN ?= ^(BenchmarkSimFreewayKm|BenchmarkPrognosReplay|BenchmarkPatternMatch)$$
@@ -127,6 +143,7 @@ FLEET_CLOSED_REPORT ?= /tmp/benchjson-fleet-closed.json
 FLEET_CLUSTER_REPORT ?= /tmp/benchjson-fleet-cluster.json
 FLEET_CRASH_REPORT ?= /tmp/benchjson-fleet-crash.json
 SWEEP_REPORT ?= /tmp/benchjson-sweep.json
+HOLOOP_REPORT ?= /tmp/benchjson-holoop.json
 bench-json:
 	go run ./cmd/prognosload -selfserve -ues 64 -duration 10s -mode open \
 		-ramp 1s -report $(FLEET_REPORT)
@@ -139,11 +156,14 @@ bench-json:
 		-report $(FLEET_CRASH_REPORT)
 	go run ./cmd/vivisect sweep -carriers 100 -drift -seed 1 \
 		-report $(SWEEP_REPORT)
+	go run ./cmd/vivisect holoop -ues 64 -seed 1 -drive-seconds 120 \
+		-gate -report $(HOLOOP_REPORT)
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . \
 		| go run ./tools/benchjson -fleet $(FLEET_REPORT) \
 			-fleet-closed $(FLEET_CLOSED_REPORT) \
 			-fleet-cluster $(FLEET_CLUSTER_REPORT) \
 			-fleet-crash $(FLEET_CRASH_REPORT) \
 			-sweep $(SWEEP_REPORT) \
+			-holoop $(HOLOOP_REPORT) \
 		> BENCH_$$(date -u +%Y-%m-%d).json
 	@ls BENCH_$$(date -u +%Y-%m-%d).json

@@ -8,6 +8,7 @@
 //	vivisect all                  # run everything in paper order
 //	vivisect trace                # emit one drive's handover event trace
 //	vivisect sweep                # fuzz generated carrier-policy portfolios
+//	vivisect holoop               # adaptive-vs-static closed-loop comparison
 //
 // Flags:
 //
@@ -34,6 +35,17 @@
 // post-rewrite re-convergence time. -report writes the full JSON report
 // (byte-identical at any -jobs); -ops-addr serves live sweep progress on
 // the ops plane while the run is underway.
+//
+// Holoop mode (`vivisect holoop`) closes the prediction loop: -ues city
+// drives are each simulated twice over identical seed/route/deployment —
+// once under the static carrier policy, once with Prognos forecasts steering
+// a ran.AdaptiveController (early-prep, skip-ahead, TTT/hysteresis
+// adaptation; -early-prep/-skip-ahead/-adapt-ttt toggle them) — and the
+// ping-pong rate, interruption time, QoE and in-loop F1 of the two arms are
+// compared. -gate turns the comparison into a CI check: exit non-zero unless
+// the adaptive arm's ping-pong rate is below the static arm's while its F1
+// stays within -f1-epsilon. -report writes the full JSON report
+// (byte-identical at any -jobs).
 //
 // Tables are printed to stdout in registry order and are byte-identical
 // for any -jobs value at the same seed; live progress and the run summary
@@ -79,6 +91,12 @@ func main() {
 	driveSeconds := flag.Float64("drive-seconds", 600, "sweep mode: minimum sim seconds per carrier")
 	f1Threshold := flag.Float64("f1-threshold", 0.6, "sweep mode: convergence F1 bar")
 	opsAddr := flag.String("ops-addr", "", "sweep mode: serve live sweep metrics on this address")
+	ues := flag.Int("ues", 64, "holoop mode: number of UE drive pairs")
+	gate := flag.Bool("gate", false, "holoop mode: exit non-zero unless adaptive beats static on ping-pong with F1 within -f1-epsilon")
+	f1Epsilon := flag.Float64("f1-epsilon", 0.05, "holoop mode: max tolerated adaptive F1 shortfall under -gate")
+	earlyPrep := flag.Bool("early-prep", true, "holoop mode: enable predictive early preparation")
+	skipAhead := flag.Bool("skip-ahead", true, "holoop mode: enable skip-ahead target selection")
+	adaptTTT := flag.Bool("adapt-ttt", true, "holoop mode: enable adaptive TTT/hysteresis")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -108,6 +126,16 @@ func main() {
 			seed: *seed, carriers: *carriers, drift: *drift, jobs: *jobs,
 			driveSeconds: *driveSeconds, f1Threshold: *f1Threshold,
 			report: *report, opsAddr: *opsAddr,
+		}))
+	case "holoop":
+		if err := flag.CommandLine.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+		os.Exit(runHOLoop(holoopArgs{
+			seed: *seed, ues: *ues, jobs: *jobs, driveSeconds: *driveSeconds,
+			gate: *gate, f1Epsilon: *f1Epsilon,
+			earlyPrep: *earlyPrep, skipAhead: *skipAhead, adaptTTT: *adaptTTT,
+			report: *report,
 		}))
 	case "all":
 		specs = experiments.All()

@@ -147,6 +147,16 @@ func (p *Prognos) Bootstrap(patterns []Pattern) { p.learner.Bootstrap(patterns) 
 // churn statistics).
 func (p *Prognos) Learner() *DecisionLearner { return p.learner }
 
+// SetEventConfigs replaces the sniffed measurement configurations mid-run:
+// the serving network pushed a reconfiguration (e.g. the adaptive handover
+// layer rewrote TTT/hysteresis), and a real Prognos would sniff the new
+// table off the RRC layer exactly like the original one. The report
+// predictor re-arms its trigger emulation against the new configs; learned
+// patterns are untouched.
+func (p *Prognos) SetEventConfigs(configs []cellular.EventConfig) {
+	p.report.SetConfigs(configs)
+}
+
 // OnSample feeds one 20 Hz cross-layer sample (signal strengths and
 // attachment state).
 func (p *Prognos) OnSample(s trace.Sample) {

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/ran"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AdaptiveSummary is the fleet-level adaptive-vs-static comparison attached
+// to a Report when Config.Adaptive is set: every UE's drive is generated
+// twice over the identical seed — once static, once with the closed-loop
+// controller — the adaptive traces are what the fleet serves, and the two
+// arms' mobility quality is compared here.
+type AdaptiveSummary struct {
+	// EarlyPrep/SkipAhead/AdaptTTT echo the controls the arm ran with.
+	EarlyPrep bool `json:"early_prep"`
+	SkipAhead bool `json:"skip_ahead"`
+	AdaptTTT  bool `json:"adapt_ttt"`
+	// Pooled handover and ping-pong tallies per arm (rates over
+	// cell-changing moves).
+	StaticHandovers      int     `json:"static_handovers"`
+	AdaptiveHandovers    int     `json:"adaptive_handovers"`
+	StaticPingPongs      int     `json:"static_ping_pongs"`
+	AdaptivePingPongs    int     `json:"adaptive_ping_pongs"`
+	StaticPingPongRate   float64 `json:"static_ping_pong_rate"`
+	AdaptivePingPongRate float64 `json:"adaptive_ping_pong_rate"`
+	// PingPongReduction is the relative rate drop (1 − adaptive/static).
+	PingPongReduction float64 `json:"ping_pong_reduction"`
+	// Controller action totals across the fleet's drives.
+	EarlyPreps  int64   `json:"early_preps"`
+	SkipAheads  int64   `json:"skip_aheads"`
+	Reconfigs   int64   `json:"reconfigs"`
+	PrepSavedMS float64 `json:"prep_saved_ms"`
+}
+
+// adaptiveTally accumulates the comparison across concurrently generated
+// drives.
+type adaptiveTally struct {
+	mu                   sync.Mutex
+	staticHOs, adaptHOs  int
+	staticMoves, aMoves  int
+	staticPPs, adaptPPs  int
+	preps, skips, reconf int64
+	savedMS              float64
+}
+
+// observe folds one UE's pair of drives into the tally.
+func (t *adaptiveTally) observe(staticLog, adaptLog *trace.Log, stats ran.AdaptiveStats, window time.Duration) {
+	sMoves, sPP := movesAndPingPongs(staticLog, window)
+	aMoves, aPP := movesAndPingPongs(adaptLog, window)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.staticHOs += len(staticLog.Handovers)
+	t.adaptHOs += len(adaptLog.Handovers)
+	t.staticMoves += sMoves
+	t.aMoves += aMoves
+	t.staticPPs += sPP
+	t.adaptPPs += aPP
+	t.preps += stats.EarlyPreps
+	t.skips += stats.SkipAheads
+	t.reconf += stats.Reconfigs
+	t.savedMS += stats.PrepSavedMS
+}
+
+// summary renders the tally as the report's AdaptiveSummary.
+func (t *adaptiveTally) summary(cfg *ran.AdaptiveConfig) *AdaptiveSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &AdaptiveSummary{
+		EarlyPrep:         cfg.EarlyPrep,
+		SkipAhead:         cfg.SkipAhead,
+		AdaptTTT:          cfg.AdaptTTT,
+		StaticHandovers:   t.staticHOs,
+		AdaptiveHandovers: t.adaptHOs,
+		StaticPingPongs:   t.staticPPs,
+		AdaptivePingPongs: t.adaptPPs,
+		EarlyPreps:        t.preps,
+		SkipAheads:        t.skips,
+		Reconfigs:         t.reconf,
+		PrepSavedMS:       t.savedMS,
+	}
+	if t.staticMoves > 0 {
+		s.StaticPingPongRate = float64(t.staticPPs) / float64(t.staticMoves)
+	}
+	if t.aMoves > 0 {
+		s.AdaptivePingPongRate = float64(t.adaptPPs) / float64(t.aMoves)
+	}
+	if s.StaticPingPongRate > 0 {
+		s.PingPongReduction = 1 - s.AdaptivePingPongRate/s.StaticPingPongRate
+	}
+	return s
+}
+
+// movesAndPingPongs counts a drive's cell-changing handovers and ping-pongs.
+func movesAndPingPongs(log *trace.Log, window time.Duration) (moves, pps int) {
+	for _, ho := range log.Handovers {
+		if ho.SourceCell != "" && ho.TargetCell != "" && ho.SourceCell != ho.TargetCell {
+			moves++
+		}
+	}
+	return moves, analysis.PingPongs(log.Handovers, window)
+}
+
+// genAdaptive generates one UE's paired drives: the static baseline (for the
+// comparison) and the closed-loop adaptive drive the fleet will serve.
+func genAdaptive(cfg sim.Config, tally *adaptiveTally) (*trace.Log, error) {
+	staticCfg := cfg
+	staticCfg.Adaptive = nil
+	staticLog, err := sim.Run(staticCfg)
+	if err != nil {
+		return nil, err
+	}
+	adaptLog, loop, err := sim.RunClosedLoop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	window := cfg.Adaptive.PingPongWindow
+	if window <= 0 {
+		window = 5 * time.Second // NewAdaptiveController's default
+	}
+	tally.observe(staticLog, adaptLog, loop.Stats, window)
+	return adaptLog, nil
+}

@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/ran"
+)
+
+// TestFleetAdaptiveSummary pins the -adaptive fleet path: drives are
+// generated twice (static and closed-loop), the adaptive traces are the ones
+// served, and the report carries the aggregated comparison.
+func TestFleetAdaptiveSummary(t *testing.T) {
+	cfg := Config{
+		UEs:      3,
+		Duration: 300 * time.Millisecond,
+		Mode:     ModeOpen,
+		Seed:     11,
+		Route:    geo.RouteCityLoop,
+		Adaptive: ran.DefaultAdaptive(),
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedUEs != 0 {
+		t.Fatalf("fleet errors: %+v", rep.Errors)
+	}
+	a := rep.Adaptive
+	if a == nil {
+		t.Fatal("adaptive run missing the comparison summary")
+	}
+	if !a.EarlyPrep || !a.SkipAhead || !a.AdaptTTT {
+		t.Errorf("control echo: %+v", a)
+	}
+	if a.StaticHandovers == 0 || a.AdaptiveHandovers == 0 {
+		t.Errorf("summary saw no handovers: %+v", a)
+	}
+
+	// Without Adaptive the report must not carry a summary — and the serve
+	// path is unchanged.
+	cfg.Adaptive = nil
+	rep, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adaptive != nil {
+		t.Error("static run grew an adaptive summary")
+	}
+}

@@ -61,6 +61,10 @@ type Portfolio struct {
 	// fraction. The sweep runner generates topologies from it; the named
 	// fallback path (ran.PolicyFor on an unknown carrier) never reads it.
 	Deployment topology.CarrierProfile
+	// Adaptive, when set, enables the carrier's prediction-driven adaptive
+	// handover controls (ran.AdaptiveFromPortfolio compiles it); nil means
+	// the carrier's mobility management is static.
+	Adaptive *AdaptiveSpec
 }
 
 // Has reports whether the portfolio offers the given architecture.
@@ -218,6 +222,9 @@ func (p *Portfolio) Validate() error {
 		if !interRAT {
 			return fmt.Errorf("policygen: %s: NSA portfolio has no inter-RAT (B1/A4) event", p.Name)
 		}
+	}
+	if err := p.Adaptive.Validate(); err != nil {
+		return fmt.Errorf("policygen: %s: %w", p.Name, err)
 	}
 	if p.Has(cellular.ArchSA) {
 		if len(p.SAEvents) == 0 {

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/ran"
+	"repro/internal/trace"
+)
+
+// logHash hashes a trace exactly as the golden tests do.
+func logHash(t *testing.T, log *trace.Log) string {
+	t.Helper()
+	h := sha256.New()
+	if err := log.Write(h); err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestAdaptiveDisabledMatchesStatic pins the closed-loop layer's most
+// important invariant: a drive with Adaptive nil, all-off, or run through
+// RunClosedLoop reproduces the static golden configuration byte-for-byte.
+// Every adaptive behaviour is gated on an enabled controller, and this test
+// is what keeps that gate honest across every golden case.
+func TestAdaptiveDisabledMatchesStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives every golden case three ways")
+	}
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.Carrier+"-"+c.Arch.String()+"-"+c.Route.String()+"-"+
+			string(rune('0'+c.Seed/100)), func(t *testing.T) {
+			t.Parallel()
+			base := goldenConfig(c, t)
+			staticLog, err := Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := logHash(t, staticLog)
+
+			cases := []struct {
+				name string
+				cfg  *ran.AdaptiveConfig
+			}{
+				{"nil", nil},
+				{"all-off", &ran.AdaptiveConfig{}},
+			}
+			for _, tc := range cases {
+				cfg := base
+				cfg.Adaptive = tc.cfg
+				log, loop, err := RunClosedLoop(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", tc.name, err)
+				}
+				if got := logHash(t, log); got != want {
+					t.Errorf("%s: RunClosedLoop trace diverged from static Run", tc.name)
+				}
+				if loop.Ticks != nil || loop.Stats.Forecasts != 0 {
+					t.Errorf("%s: disabled run produced closed-loop by-product", tc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveDeterministic pins that an enabled closed-loop drive is a pure
+// function of its Config: same seed, same trace bytes, same controller
+// stats.
+func TestAdaptiveDeterministic(t *testing.T) {
+	cfg := goldenConfig(goldenCases()[2], t) // OpX NSA city loop, seed 101
+	cfg.Adaptive = ran.DefaultAdaptive()
+	log1, loop1, err := RunClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, loop2, err := RunClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1, h2 := logHash(t, log1), logHash(t, log2); h1 != h2 {
+		t.Errorf("adaptive trace not deterministic: %s vs %s", h1, h2)
+	}
+	if loop1.Stats != loop2.Stats {
+		t.Errorf("adaptive stats not deterministic:\n  %+v\n  %+v", loop1.Stats, loop2.Stats)
+	}
+	if len(loop1.Ticks) != len(loop2.Ticks) {
+		t.Fatalf("tick counts differ: %d vs %d", len(loop1.Ticks), len(loop2.Ticks))
+	}
+	if len(loop1.Ticks) != len(log1.Samples) {
+		t.Errorf("expected one in-loop prediction per sample: %d ticks, %d samples",
+			len(loop1.Ticks), len(log1.Samples))
+	}
+}
+
+// TestAdaptiveActsOnCityDrive asserts the controller actually engages on the
+// city reference drive: forecasts arm, and an enabled drive's trace diverges
+// from the static one (the loop is closed, not decorative). The fleet-level
+// ping-pong reduction bar lives in the experiments holoop test and the
+// `vivisect holoop -gate` CI job, where the aggregate is statistically
+// meaningful; a single drive's ping-pong delta is too noisy to pin.
+func TestAdaptiveActsOnCityDrive(t *testing.T) {
+	cfg := goldenConfig(goldenCases()[2], t) // OpX NSA city loop, seed 101
+	staticLog, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adaptive = ran.DefaultAdaptive()
+	adaptLog, loop, err := RunClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.Stats.Forecasts == 0 {
+		t.Error("controller armed no forecasts on the city drive")
+	}
+	if loop.Stats.EarlyPreps == 0 && loop.Stats.SkipAheads == 0 && loop.Stats.Reconfigs == 0 {
+		t.Errorf("controller took no actions: %+v", loop.Stats)
+	}
+	if logHash(t, staticLog) == logHash(t, adaptLog) {
+		t.Error("adaptive drive is byte-identical to static: the loop is not closed")
+	}
+}

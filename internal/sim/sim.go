@@ -15,9 +15,11 @@ import (
 	"math/rand"
 
 	"repro/internal/cellular"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/policygen"
+	"repro/internal/ran"
 	"repro/internal/throughput"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -63,6 +65,15 @@ type Config struct {
 	// SampleEveryN stores every Nth 20 Hz sample (default 1 = all). The
 	// simulation itself always runs at full rate.
 	SampleEveryN int
+	// Adaptive, when set with at least one control enabled, closes the
+	// prediction loop: the drive embeds an online Prognos instance fed the
+	// same report/handover/sample stream core.Replay would deliver, and its
+	// per-tick forecasts steer the live policy through a
+	// ran.AdaptiveController (early-prep, skip-ahead, TTT/hysteresis
+	// adaptation — see docs/ARCHITECTURE.md §Closed loop). Nil or all-off
+	// keeps the drive bit-identical to the static policy, which the golden
+	// trace tests pin.
+	Adaptive *ran.AdaptiveConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -120,4 +131,35 @@ func RunOn(cfg Config, dep *topology.Deployment, seed int64) (*trace.Log, error)
 	s := newState(cfg, dep.Route, dep, rng)
 	s.run()
 	return s.log, nil
+}
+
+// ClosedLoop is the by-product of an adaptive drive: the in-loop prediction
+// series (the forecasts the controller actually acted on, on the same 20 Hz
+// grid core.Replay produces) and the controller's action counters. Both are
+// nil/zero when Config.Adaptive was not enabled.
+type ClosedLoop struct {
+	Ticks []core.TickPrediction
+	Stats ran.AdaptiveStats
+}
+
+// RunClosedLoop simulates one drive like Run and additionally returns the
+// closed-loop by-product. The trace bytes are identical to what Run would
+// produce for the same Config — the extra return only exposes what the
+// embedded predictor and controller did along the way.
+func RunClosedLoop(cfg Config) (*trace.Log, *ClosedLoop, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Carrier.Has(cfg.Arch) {
+		return nil, nil, fmt.Errorf("sim: carrier %s does not offer %s", cfg.Carrier.Name, cfg.Arch)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	route := geo.Generate(cfg.RouteKind, rng, cfg.RouteLengthM)
+	dep := topology.Generate(cfg.Carrier, route, rng, cfg.TopoOpts)
+	s := newState(cfg, route, dep, rng)
+	s.run()
+	cl := &ClosedLoop{}
+	if s.actrl != nil {
+		cl.Ticks = s.loopTicks
+		cl.Stats = s.actrl.Stats()
+	}
+	return s.log, cl, nil
 }

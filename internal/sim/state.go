@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cellular"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/policygen"
@@ -108,6 +109,23 @@ type state struct {
 	// once at construction keeps the grid walk closure-allocation-free.
 	scanPoint geo.Point
 	visitCell func(*cellular.Cell)
+
+	// Closed-loop state (nil/zero unless cfg.Adaptive is enabled — the
+	// static path must stay bit-identical to the goldens). prog is the
+	// embedded online Prognos; actrl the control-side consumer of its
+	// forecasts. progRI/progHI are delivery cursors into log.Reports and
+	// log.Handovers: handovers are appended at schedule time with their
+	// future command timestamp, so cursor delivery naturally hands them to
+	// the predictor at command time — the same order core.Replay uses.
+	// adaptBase is the unscaled active event table the TTT/hysteresis
+	// stance is applied over (it tracks policy drift; s.events holds the
+	// stance-adjusted table the UE actually runs).
+	prog      *core.Prognos
+	actrl     *ran.AdaptiveController
+	progRI    int
+	progHI    int
+	loopTicks []core.TickPrediction
+	adaptBase []cellular.EventConfig
 }
 
 func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *rand.Rand) *state {
@@ -161,6 +179,19 @@ func newState(cfg Config, route *geo.Polyline, dep *topology.Deployment, rng *ra
 	}
 	s.meas = me
 	s.engine = ran.NewEngine(policy)
+	if cfg.Adaptive.Enabled() {
+		s.actrl = ran.NewAdaptiveController(*cfg.Adaptive)
+		s.adaptBase = s.events
+		prog, err := core.New(core.Config{
+			EventConfigs:       s.events,
+			UseReportPredictor: true,
+			Arch:               cfg.Arch,
+		})
+		if err != nil {
+			panic("sim: " + err.Error())
+		}
+		s.prog = prog
+	}
 	return s
 }
 
@@ -174,6 +205,15 @@ func (s *state) applyDrift() {
 		p := &s.drifts[s.nextDrift].Portfolio
 		s.nextDrift++
 		s.events = ran.EventConfigsFromPortfolio(p, s.cfg.Arch)
+		if s.actrl != nil {
+			// Drift replaces the base table; the applied stance carries over
+			// onto it, and the embedded predictor sniffs the fresh push.
+			s.adaptBase = s.events
+			if scale, delta := s.actrl.StanceParams(); scale != 1 || delta != 0 {
+				s.events = ran.AdaptEventConfigs(s.adaptBase, scale, delta)
+			}
+			s.prog.SetEventConfigs(s.events)
+		}
 		s.engine.SetPolicy(ran.PolicyFromPortfolio(p, s.cfg.Arch))
 		s.meas.Reconfigure(s.events)
 		if s.cfg.Tracer != nil {
@@ -370,6 +410,32 @@ func (s *state) nrCandidate() (cellObs, bool) {
 	return cellObs{}, false
 }
 
+// nrStrongest is nrCandidate's skip-ahead variant: within the
+// highest-priority band that has any adequate cell, it picks the
+// *strongest* one — the cell a handover chain would eventually settle on —
+// instead of the first adequate in scan order. Only the adaptive layer
+// uses it; the static path keeps the §6.2 independent-legs behaviour.
+func (s *state) nrStrongest() (cellObs, bool) {
+	var cand [3]cellObs
+	var have [3]bool
+	for _, o := range s.obsNR {
+		b := o.cell.Band
+		if int(b) >= len(have) || o.cell == s.nrCell {
+			continue
+		}
+		if o.rsrp > addThreshold(b) && (!have[b] || o.rsrp > cand[b].rsrp) {
+			cand[b] = o
+			have[b] = true
+		}
+	}
+	for _, band := range [...]cellular.Band{cellular.BandMMWave, cellular.BandMid, cellular.BandLow} {
+		if have[band] {
+			return cand[band], true
+		}
+	}
+	return cellObs{}, false
+}
+
 // lookup finds the cell matching a technology and PCI nearest to p (PCIs
 // wrap spatially, as in real deployments). The deployment's (tech, PCI)
 // index narrows the scan to the few cells sharing the identity.
@@ -449,7 +515,42 @@ func (s *state) tick(p geo.Point, dt time.Duration) {
 		s.maybeDecide(mr, p)
 	}
 
-	s.logSample(p)
+	smp := s.logSample(p)
+	if s.actrl != nil {
+		s.closeLoop(smp)
+	}
+}
+
+// closeLoop advances the embedded predictor by one tick and lets its
+// forecast steer the controller: reports and handovers logged up to the
+// sample's time are delivered (command-time order, exactly as core.Replay
+// would), the fresh sample is observed, and the resulting prediction is
+// distilled into a ran.Forecast. A due stance change rewrites the live
+// measurement configuration — the prediction loop acting on the RAN.
+func (s *state) closeLoop(smp trace.Sample) {
+	for s.progRI < len(s.log.Reports) && s.log.Reports[s.progRI].Time <= smp.Time {
+		s.prog.OnReport(s.log.Reports[s.progRI])
+		s.progRI++
+	}
+	for s.progHI < len(s.log.Handovers) && s.log.Handovers[s.progHI].Time <= smp.Time {
+		ho := s.log.Handovers[s.progHI]
+		s.prog.OnHandover(ho)
+		s.actrl.OnHandover(ho, s.now)
+		s.progHI++
+	}
+	s.prog.OnSample(smp)
+	pred := s.prog.Predict()
+	s.loopTicks = append(s.loopTicks, core.TickPrediction{Time: smp.Time, Type: pred.Type, PatternKey: pred.PatternKey})
+	conf := 0.0
+	if pred.Type != cellular.HONone {
+		conf = pred.Similarity * pred.Pattern.Reliability()
+	}
+	s.actrl.OnForecast(ran.Forecast{Type: pred.Type, Confidence: conf, Lead: pred.Lead}, s.now)
+	if scale, delta, ok := s.actrl.ReconfigDue(s.now); ok {
+		s.events = ran.AdaptEventConfigs(s.adaptBase, scale, delta)
+		s.meas.Reconfigure(s.events)
+		s.prog.SetEventConfigs(s.events)
+	}
 }
 
 // recoverIfLost reattaches a UE whose serving cell has fallen below the
@@ -589,6 +690,16 @@ func (s *state) schedule(dec *ran.Decision, p geo.Point) {
 				target = o.cell
 			}
 		}
+		// Skip-ahead: a confident SCG forecast stands, so jump straight to
+		// the predicted final cell — the strongest adequate one — instead of
+		// the first adequate cell the independent-legs behaviour would pick
+		// (and then correct with a follow-up SCG change).
+		if s.actrl != nil && s.actrl.SkipAheadActive() {
+			if o, ok := s.nrStrongest(); ok && o.cell != target {
+				target = o.cell
+				s.actrl.NoteSkipAhead()
+			}
+		}
 		if target == nil {
 			return // candidate vanished; abort silently
 		}
@@ -611,6 +722,13 @@ func (s *state) schedule(dec *ran.Decision, p geo.Point) {
 	band := s.hoBand(ho)
 	coloc := s.coLocated(ho)
 	t1, t2 := ran.SampleDurations(ran.DurationParams{Type: dec.Type, Band: band, CoLocated: coloc}, s.rng)
+	if s.actrl != nil {
+		// Early-prep: a standing forecast of this type means preparation
+		// effectively began when the forecast armed, shrinking T1 — and,
+		// because the target came pre-configured, part of the execution
+		// stage T2 (the interruption the UE actually feels).
+		t1, t2 = s.actrl.ApplyPrep(dec.Type, s.now, t1, t2)
+	}
 	ho.t1, ho.t2 = t1, t2
 	ho.cmdAt = dec.At + t1
 	ho.endAt = ho.cmdAt + t2
@@ -781,7 +899,16 @@ func (s *state) chainSCGMobility(p geo.Point) {
 	typ := cellular.HOSCGR
 	var target *cellular.Cell
 	var targetRSRP float64
-	if o, ok := s.nrCandidate(); ok {
+	skipAhead := s.actrl != nil && s.actrl.SkipAheadActive()
+	if skipAhead {
+		// Skip-ahead: re-add the predicted final cell (strongest adequate)
+		// rather than the first adequate one.
+		if o, ok := s.nrStrongest(); ok {
+			typ = cellular.HOSCGC
+			target = o.cell
+			targetRSRP = o.rsrp
+		}
+	} else if o, ok := s.nrCandidate(); ok {
 		typ = cellular.HOSCGC
 		target = o.cell
 		targetRSRP = o.rsrp
@@ -794,6 +921,11 @@ func (s *state) chainSCGMobility(p geo.Point) {
 		if rsrp := s.observed(srcNR, p); rsrp > addThreshold(srcNR.Band) && (target == nil || rsrp > targetRSRP) {
 			typ = cellular.HOSCGC
 			target = srcNR
+		}
+	}
+	if skipAhead && target != nil {
+		if o, ok := s.nrCandidate(); !ok || o.cell != target {
+			s.actrl.NoteSkipAhead()
 		}
 	}
 	if target != nil {
@@ -836,8 +968,10 @@ func (s *state) chainSCGMobility(p geo.Point) {
 	s.traceHO(ev)
 }
 
-// logSample records the 20 Hz cross-layer sample.
-func (s *state) logSample(p geo.Point) {
+// logSample records the 20 Hz cross-layer sample and returns it (the
+// closed loop consumes every tick's sample even when SampleEveryN thins
+// what the trace stores).
+func (s *state) logSample(p geo.Point) trace.Sample {
 	inHO := s.pending != nil && s.now >= s.pending.cmdAt && s.now < s.pending.endAt
 	hoType := cellular.HONone
 	if inHO {
@@ -900,4 +1034,5 @@ func (s *state) logSample(p geo.Point) {
 	if s.ticks%s.cfg.SampleEveryN == 0 {
 		s.log.Samples = append(s.log.Samples, smp)
 	}
+	return smp
 }

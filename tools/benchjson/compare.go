@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+// loadEnvelope reads one committed BENCH_<date>.json envelope.
+func loadEnvelope(path string) (File, error) {
+	var f File
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("parse envelope %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// runCompare is the nightly bench-regression gate: it diffs NEW's serving
+// throughput against OLD's and fails when fleet_closed or fleet_cluster
+// predictions_per_sec dropped by more than the threshold fraction. A
+// section absent from either envelope is reported and skipped (older
+// envelopes predate some sections), so the gate only ever compares
+// like-for-like runs.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldF, err := loadEnvelope(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+		return 1
+	}
+	newF, err := loadEnvelope(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+		return 1
+	}
+
+	type section struct {
+		name     string
+		old, new *fleetThroughput
+	}
+	sections := []section{
+		{"fleet_closed", fleetTput(oldF.FleetClosed), fleetTput(newF.FleetClosed)},
+		{"fleet_cluster", fleetTput(oldF.FleetCluster), fleetTput(newF.FleetCluster)},
+	}
+	failed := false
+	compared := 0
+	for _, s := range sections {
+		switch {
+		case s.old == nil && s.new == nil:
+			fmt.Printf("%-14s absent from both envelopes, skipped\n", s.name)
+		case s.old == nil:
+			fmt.Printf("%-14s new in %s (%.0f predictions/s), no baseline, skipped\n", s.name, newPath, s.new.pps)
+		case s.new == nil:
+			fmt.Printf("%-14s missing from %s (baseline %.0f predictions/s), skipped\n", s.name, newPath, s.old.pps)
+		case s.old.pps <= 0:
+			fmt.Printf("%-14s baseline throughput is zero, skipped\n", s.name)
+		default:
+			compared++
+			delta := s.new.pps/s.old.pps - 1
+			status := "ok"
+			if delta < -threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-14s %.0f -> %.0f predictions/s (%+.1f%%, limit -%.0f%%) %s\n",
+				s.name, s.old.pps, s.new.pps, 100*delta, 100*threshold, status)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: compare: serving throughput regressed beyond %.0f%%\n", 100*threshold)
+		return 1
+	}
+	if compared == 0 {
+		fmt.Println("no comparable sections; nothing gated")
+	}
+	return 0
+}
+
+// fleetThroughput is the single number the gate reads from a fleet section.
+type fleetThroughput struct{ pps float64 }
+
+// fleetTput extracts it, nil-safe.
+func fleetTput(r *fleet.Report) *fleetThroughput {
+	if r == nil {
+		return nil
+	}
+	return &fleetThroughput{pps: r.PredictionsPerSec}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func writeEnvelope(t *testing.T, dir, name string, f File) string {
+	t.Helper()
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func closedEnvelope(pps float64) File {
+	return File{Benchmarks: map[string]Result{}, FleetClosed: &fleet.Report{PredictionsPerSec: pps}}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name     string
+		old, new File
+		want     int
+	}{
+		{"within threshold", closedEnvelope(1000), closedEnvelope(900), 0},
+		{"improvement", closedEnvelope(1000), closedEnvelope(1500), 0},
+		{"regression", closedEnvelope(1000), closedEnvelope(800), 1},
+		{"just inside the limit", closedEnvelope(1000), closedEnvelope(860), 0},
+		{"section new in NEW", File{}, closedEnvelope(1000), 0},
+		{"section missing from NEW", closedEnvelope(1000), File{}, 0},
+		{"nothing comparable", File{}, File{}, 0},
+		{"zero baseline", closedEnvelope(0), closedEnvelope(1000), 0},
+	}
+	for _, c := range cases {
+		oldPath := writeEnvelope(t, dir, c.name+"-old.json", c.old)
+		newPath := writeEnvelope(t, dir, c.name+"-new.json", c.new)
+		if got := runCompare(oldPath, newPath, 0.15); got != c.want {
+			t.Errorf("%s: runCompare = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunCompareBothSections(t *testing.T) {
+	dir := t.TempDir()
+	old := closedEnvelope(1000)
+	old.FleetCluster = &fleet.Report{PredictionsPerSec: 500}
+	// Closed holds, cluster regresses: the gate must still fail.
+	nw := closedEnvelope(1000)
+	nw.FleetCluster = &fleet.Report{PredictionsPerSec: 300}
+	oldPath := writeEnvelope(t, dir, "both-old.json", old)
+	newPath := writeEnvelope(t, dir, "both-new.json", nw)
+	if got := runCompare(oldPath, newPath, 0.15); got != 1 {
+		t.Errorf("cluster regression passed the gate (%d)", got)
+	}
+}
+
+func TestRunCompareBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := writeEnvelope(t, dir, "good.json", closedEnvelope(1000))
+	if got := runCompare(filepath.Join(dir, "missing.json"), good, 0.15); got != 1 {
+		t.Error("missing OLD accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runCompare(good, bad, 0.15); got != 1 {
+		t.Error("unparseable NEW accepted")
+	}
+}
+
+// TestRunCompareAgainstCommittedBaseline feeds the gate the repo's own
+// committed envelopes: self-comparison must always pass (delta 0).
+func TestRunCompareAgainstCommittedBaseline(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skip("no committed BENCH_*.json envelopes")
+	}
+	latest := matches[len(matches)-1]
+	if got := runCompare(latest, latest, 0.15); got != 0 {
+		t.Errorf("self-comparison of %s failed the gate", latest)
+	}
+}

@@ -22,6 +22,16 @@
 // across commits too. -sweep sweep.json (a `vivisect sweep -report` file)
 // merges the policy-portfolio sweep report under "policy_sweep", folding
 // convergence/re-convergence/F1-floor numbers into the same envelope.
+// -holoop holoop.json (a `vivisect holoop -report` file) merges the
+// adaptive-vs-static closed-loop handover comparison under "ho_adaptive".
+//
+// Regression-gate mode: `benchjson -compare [-threshold 0.15] OLD NEW`
+// (flags before the positional paths) reads two envelopes and exits
+// non-zero if NEW's serving
+// throughput (predictions_per_sec in fleet_closed and fleet_cluster)
+// regressed by more than the threshold fraction relative to OLD. Sections
+// missing from either file are skipped, so the gate tolerates older
+// envelopes that predate a section. Stdin is not read in this mode.
 package main
 
 import (
@@ -69,6 +79,9 @@ type File struct {
 	// via -sweep (a `vivisect sweep -report` file): convergence and
 	// re-convergence statistics over a generated carrier population.
 	PolicySweep *metrics.SweepReport `json:"policy_sweep,omitempty"`
+	// HOAdaptive is the adaptive-vs-static closed-loop handover comparison
+	// merged in via -holoop (a `vivisect holoop -report` file).
+	HOAdaptive *metrics.HOLoopReport `json:"ho_adaptive,omitempty"`
 }
 
 // loadFleetReport reads one cmd/prognosload -report file.
@@ -92,7 +105,18 @@ func main() {
 	fleetClusterPath := flag.String("fleet-cluster", "", "merge a multi-node cluster -report JSON file under fleet_cluster")
 	fleetCrashPath := flag.String("fleet-crash", "", "merge a node-kill crash -report JSON file under fleet_crash")
 	sweepPath := flag.String("sweep", "", "merge a `vivisect sweep -report` JSON file under policy_sweep")
+	holoopPath := flag.String("holoop", "", "merge a `vivisect holoop -report` JSON file under ho_adaptive")
+	compare := flag.Bool("compare", false, "compare two envelopes (OLD NEW args) and fail on serving-throughput regression")
+	threshold := flag.Float64("threshold", 0.15, "with -compare: max tolerated fractional predictions_per_sec drop")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two args: OLD NEW")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	out := File{
 		DateUTC:    time.Now().UTC().Format("2006-01-02"),
@@ -119,6 +143,14 @@ func main() {
 			os.Exit(1)
 		}
 		out.PolicySweep = &rep
+	}
+	if *holoopPath != "" {
+		rep, err := metrics.ReadHOLoopFile(*holoopPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		out.HOAdaptive = &rep
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
